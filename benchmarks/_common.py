@@ -1,0 +1,75 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one paper table or figure (see
+DESIGN.md's experiment index).  Results are printed and also written to
+``benchmarks/results/<name>.txt`` so ``pytest benchmarks/ --benchmark-only``
+leaves a reviewable artifact regardless of output capture.
+
+The paper's full protocol (250 datasets x 5 seeds x 20 epochs, GPU) is
+scaled down here for a CPU-only pure-numpy substrate; EXPERIMENTS.md
+documents the scaling and compares shapes against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import TriAD
+from repro.core.config import TriADConfig
+from repro.data.spec import Dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> str:
+    """Print a result block and persist it under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+_TRIAD_CACHE: dict[tuple, TriAD] = {}
+
+
+def trained_triad(dataset: Dataset, config: TriADConfig) -> TriAD:
+    """Train (or fetch a cached) TriAD for a dataset+config pair.
+
+    Several benches probe the same trained models (Fig. 7/8/9, Tables
+    III/IV); caching keeps the suite's wall-clock reasonable without
+    changing any result.
+    """
+    key = (dataset.name, config)
+    if key not in _TRIAD_CACHE:
+        _TRIAD_CACHE[key] = TriAD(config).fit(dataset.train)
+    return _TRIAD_CACHE[key]
+
+
+def tri_window_hit(detector: TriAD, dataset: Dataset, margin: int = 100) -> bool:
+    """Did any of the (up to three) nominated windows contain the anomaly?"""
+    from repro.metrics import window_hits_event
+
+    candidates, _, _, _ = detector.nominate_windows(dataset.test)
+    event = dataset.anomaly_interval
+    return any(window_hits_event(w, event, margin) for w in candidates.values())
+
+
+def single_window_hit(detector: TriAD, dataset: Dataset, margin: int = 100) -> bool:
+    """Did the final selected window contain the anomaly?"""
+    from repro.metrics import window_hits_event
+
+    candidates, _, _, _ = detector.nominate_windows(dataset.test)
+    window = detector.select_window(dataset.test, candidates)
+    return window_hits_event(window, dataset.anomaly_interval, margin)
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"
+
+
+def mean_std(values) -> str:
+    values = np.asarray(list(values), dtype=np.float64)
+    return f"{values.mean():.3f}±{values.std():.3f}"

@@ -1,0 +1,87 @@
+"""Design-choice ablations beyond the paper's Fig. 9 (see DESIGN.md).
+
+DESIGN.md calls out three scoring-stage design choices worth ablating:
+
+1. the Sec. IV-G discord-fail exception (on / off);
+2. the Eq. 8 uniform voting vs the paper's *future-work* weighted,
+   normalized scoring (implemented in ``repro.core.weighting``);
+3. the voting threshold rule (mean of voted points vs percentiles —
+   covered per-dataset by the Fig. 13 bench; here aggregated).
+
+Each variant runs over the shared bench archive; the table reports
+PA%K F1-AUC and affiliation F1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TriAD
+from repro.eval import bench_archive, bench_config, evaluate_predictions, render_table
+
+from _common import emit, trained_triad
+
+ARCHIVE_SIZE = 6
+
+VARIANTS = {
+    "uniform + exception (paper)": {},
+    "uniform, no exception": {"exception_enabled": False},
+    "weighted + exception": {"scoring": "weighted"},
+    "weighted, no exception": {"scoring": "weighted", "exception_enabled": False},
+}
+
+
+def _variant_detector(base: TriAD, overrides: dict) -> TriAD:
+    """Reuse the trained encoder: these variants differ only at inference."""
+    detector = TriAD(base.config.with_overrides(**overrides))
+    detector._result = base._result
+    detector._train_series = base._train_series
+    return detector
+
+
+@pytest.fixture(scope="module")
+def results():
+    archive = bench_archive(size=ARCHIVE_SIZE)
+    base_config = bench_config(seed=0)
+    out = {name: {"pak_f1_auc": [], "affiliation_f1": []} for name in VARIANTS}
+    for ds in archive:
+        base = trained_triad(ds, base_config)
+        for name, overrides in VARIANTS.items():
+            detector = _variant_detector(base, overrides)
+            metrics = evaluate_predictions(detector.predict(ds.test), ds.labels)
+            out[name]["pak_f1_auc"].append(metrics["pak_f1_auc"])
+            out[name]["affiliation_f1"].append(metrics["affiliation_f1"])
+    return {
+        name: {metric: float(np.mean(values)) for metric, values in metrics.items()}
+        for name, metrics in out.items()
+    }
+
+
+def test_scoring_ablation(results, benchmark):
+    rows = benchmark(
+        lambda: [
+            [name, f"{m['pak_f1_auc']:.3f}", f"{m['affiliation_f1']:.3f}"]
+            for name, m in results.items()
+        ]
+    )
+    table = render_table(
+        ["Scoring variant", "PA%K F1-AUC", "Affiliation F1"],
+        rows,
+        title=f"Scoring ablation on {ARCHIVE_SIZE} datasets",
+    )
+    emit("ablation_scoring", table)
+
+    # Every variant must remain a functional detector.
+    for name, metrics in results.items():
+        assert metrics["pak_f1_auc"] > 0.05, name
+        assert metrics["affiliation_f1"] > 0.4, name
+    # The paper's default should not be dominated across the board.
+    default = results["uniform + exception (paper)"]
+    others_better_everywhere = all(
+        m["pak_f1_auc"] > default["pak_f1_auc"]
+        and m["affiliation_f1"] > default["affiliation_f1"]
+        for name, m in results.items()
+        if name != "uniform + exception (paper)"
+    )
+    assert not others_better_everywhere

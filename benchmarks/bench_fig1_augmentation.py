@@ -1,0 +1,72 @@
+"""Fig. 1 + Fig. 5 — augmentations resemble anomalies.
+
+Fig. 1's argument: whole-series CV-style augmentation produces data that
+looks like an anomaly.  Fig. 5 shows TriAD's segment-level jitter/warp
+examples.  We quantify both: the z-norm distance from a clean window to
+(a) its augmented variant and (b) a genuinely anomalous window of the
+same dataset are of the same order — which is exactly why TriAD treats
+augmentations as contrastive *negatives*, not positives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.augment import augment_batch, jitter_segment, warp_segment
+from repro.data import make_archive
+from repro.discord import znorm_distance
+from repro.eval import render_table
+from repro.signal import sliding_windows
+
+from _common import emit, fmt
+
+
+@pytest.fixture(scope="module")
+def windows_and_anomaly():
+    ds = make_archive(size=3, seed=31, train_length=1500, test_length=2000)[2]
+    length = 4 * ds.spec.period
+    windows, _ = sliding_windows(ds.train, length, length)
+    start, end = ds.anomaly_interval
+    anomaly_start = max(min(start - length // 4, len(ds.test) - length), 0)
+    anomalous_window = ds.test[anomaly_start : anomaly_start + length]
+    return ds, windows, anomalous_window
+
+
+def test_fig1_augmentation_vs_anomaly(windows_and_anomaly, benchmark):
+    ds, windows, anomalous = windows_and_anomaly
+    rng = np.random.default_rng(0)
+    base = windows[0]
+
+    jittered = jitter_segment(base, len(base) // 4, len(base) // 3, rng)
+    warped = warp_segment(base, len(base) // 4, len(base) // 3, rng)
+
+    d_normal = benchmark(lambda: np.mean([znorm_distance(base, w) for w in windows[1:]]))
+    d_jitter = znorm_distance(base, jittered)
+    d_warp = znorm_distance(base, warped)
+    d_anomaly = znorm_distance(base, anomalous)
+
+    rows = [
+        ["normal vs other normals", fmt(d_normal)],
+        ["normal vs jittered self", fmt(d_jitter)],
+        ["normal vs warped self", fmt(d_warp)],
+        ["normal vs true anomaly window", fmt(d_anomaly)],
+    ]
+    table = render_table(
+        ["Pair", "z-norm distance"],
+        rows,
+        title=f"Fig. 1/5: augmentation vs anomaly distances ({ds.name})",
+    )
+    emit("fig1_augmentation", table)
+
+    # Shape: augmented windows are at least as far from the original as
+    # other normal windows are — treating them as positives would teach
+    # the model that anomalies are normal.
+    assert d_jitter > d_normal * 0.8
+    assert max(d_jitter, d_warp) > 0.3 * d_anomaly
+
+
+def test_bench_augment_batch(windows_and_anomaly, benchmark):
+    _, windows, _ = windows_and_anomaly
+    rng = np.random.default_rng(1)
+    benchmark(lambda: augment_batch(windows, rng))

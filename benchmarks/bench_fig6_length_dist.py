@@ -1,0 +1,51 @@
+"""Fig. 6 — distribution of anomaly lengths in the archive.
+
+The UCR archive's anomaly lengths span 1-1700 with a right-skewed
+distribution.  The synthetic archive preserves that character (scaled to
+our shorter series); this bench prints the histogram and asserts the
+skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import anomaly_length_distribution, make_archive
+from repro.eval import render_table
+
+from _common import emit
+
+
+@pytest.fixture(scope="module")
+def archive():
+    return make_archive(size=40, seed=41, train_length=800, test_length=1600)
+
+
+def test_fig6_length_distribution(archive, benchmark):
+    distribution = benchmark(lambda: anomaly_length_distribution(archive))
+    lengths = [ds.anomaly_length for ds in archive]
+
+    rows = [[bucket, f"{fraction * 100:.0f}%"] for bucket, fraction in distribution.items()]
+    table = render_table(
+        ["Anomaly length", "Share of datasets"],
+        rows,
+        title=f"Fig. 6: anomaly lengths across {len(archive)} datasets "
+        f"(min={min(lengths)}, median={int(np.median(lengths))}, max={max(lengths)})",
+    )
+    emit("fig6_length_dist", table)
+
+    assert abs(sum(distribution.values()) - 1.0) < 1e-9
+    # Right-skew: bulk of mass in the low/middle buckets, non-empty tail.
+    assert distribution["16-63"] + distribution["<16"] + distribution["64-127"] > 0.5
+    assert max(lengths) > 3 * np.median(lengths) or max(lengths) >= 256
+    # Varied lengths, as in the archive.
+    assert len(set(lengths)) > 10
+
+
+def test_bench_archive_generation(benchmark):
+    benchmark.pedantic(
+        lambda: make_archive(size=10, seed=1, train_length=800, test_length=1000),
+        rounds=1,
+        iterations=1,
+    )

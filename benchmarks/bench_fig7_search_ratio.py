@@ -1,0 +1,53 @@
+"""Fig. 7 — the ratio of TriAD's discord-search length to MERLIN's.
+
+MERLIN must scan the full test series (length N); TriAD restricts the
+search to a padded window (~3 window lengths).  The paper reports an
+average ~20x reduction.  Our series are shorter than the UCR archive's
+(which reach 10^5 points), so the absolute ratio is smaller; the shape
+to preserve is a *consistent multi-x reduction on every dataset*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import bench_archive, bench_config, render_table
+
+from _common import emit, fmt, trained_triad
+
+
+@pytest.fixture(scope="module")
+def ratios():
+    archive = bench_archive(size=8)
+    config = bench_config(seed=0)
+    per_dataset = []
+    for ds in archive:
+        detector = trained_triad(ds, config)
+        detection = detector.detect(ds.test)
+        lo, hi = detection.search_region
+        per_dataset.append((ds.name, len(ds.test), hi - lo, len(ds.test) / (hi - lo)))
+    return per_dataset
+
+
+def test_fig7_search_length_ratio(ratios, benchmark):
+    rows = [
+        [name, str(total), str(span), fmt(ratio, 1)]
+        for name, total, span, ratio in ratios
+    ]
+    mean_ratio = benchmark(lambda: float(np.mean([r[-1] for r in ratios])))
+    table = render_table(
+        ["Dataset", "MERLIN scan (N)", "TriAD scan", "reduction x"],
+        rows,
+        title=f"Fig. 7: search-length reduction (mean {mean_ratio:.1f}x)",
+    )
+    emit("fig7_search_ratio", table)
+
+    assert all(ratio > 2.0 for *_, ratio in ratios), "every dataset must shrink"
+    assert mean_ratio > 3.0
+
+
+def test_bench_detect_with_restricted_search(benchmark):
+    archive = bench_archive(size=1)
+    detector = trained_triad(archive[0], bench_config(seed=0))
+    benchmark.pedantic(lambda: detector.detect(archive[0].test), rounds=2, iterations=1)

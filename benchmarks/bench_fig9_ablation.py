@@ -1,0 +1,67 @@
+"""Fig. 9 — ablation study: drop each encoder / loss term.
+
+Removes one module at a time and measures tri-window accuracy:
+full model, -temporal (called 'general' in the paper), -frequency,
+-residual, -intra loss, -inter loss.
+
+Expected shapes (paper Fig. 9): the temporal and frequency encoders and
+the intra-domain loss matter most; removing the residual encoder or the
+inter-domain loss hurts least.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import bench_archive, bench_config, render_table
+
+from _common import emit, fmt, tri_window_hit, trained_triad
+
+ARCHIVE_SIZE = 6
+
+VARIANTS = {
+    "full": {},
+    "w/o temporal": {"domains": ("frequency", "residual")},
+    "w/o frequency": {"domains": ("temporal", "residual")},
+    "w/o residual": {"domains": ("temporal", "frequency")},
+    "w/o intra loss": {"use_intra": False},
+    "w/o inter loss": {"use_inter": False},
+}
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    archive = bench_archive(size=ARCHIVE_SIZE)
+    results = {}
+    for name, overrides in VARIANTS.items():
+        config = bench_config(seed=0, **overrides)
+        hits = [tri_window_hit(trained_triad(ds, config), ds) for ds in archive]
+        results[name] = float(np.mean(hits))
+    return results
+
+
+def test_fig9_ablation(ablation_results, benchmark):
+    rows = benchmark(lambda: [[name, fmt(acc, 2)] for name, acc in ablation_results.items()])
+    table = render_table(
+        ["Variant", "Tri-window accuracy"],
+        rows,
+        title=f"Fig. 9: ablation on {ARCHIVE_SIZE} datasets",
+    )
+    emit("fig9_ablation", table)
+
+    full = ablation_results["full"]
+    # The full model must be a working detector and no ablated variant
+    # should beat it decisively (sampling noise allowed on a small archive).
+    assert full >= 0.5
+    for name, accuracy in ablation_results.items():
+        assert accuracy <= full + 0.21, (name, accuracy, full)
+    # Intra-domain contrast is the load-bearing loss (paper's finding):
+    # dropping it should hurt at least as much as dropping inter.
+    assert ablation_results["w/o intra loss"] <= ablation_results["w/o inter loss"] + 0.21
+
+
+def test_bench_tri_window_nomination(benchmark):
+    archive = bench_archive(size=1)
+    detector = trained_triad(archive[0], bench_config(seed=0))
+    benchmark(lambda: detector.nominate_windows(archive[0].test))

@@ -1,0 +1,104 @@
+"""Table III — overall comparison on the UCR-style archive.
+
+Runs all seven baselines plus TriAD over the shared bench archive with
+multiple seeds and reports F1(PW), F1(PA), PA%K AUC (precision / recall
+/ F1) and affiliation (precision / recall / F1), mean±std over seeds.
+
+Expected shapes (paper Table III):
+- every deep baseline's F1(PW) and PA%K-F1 are near zero;
+- TriAD's PA%K-F1 is a multiple (paper: >=3x) of the best baseline;
+- baselines reach high affiliation recall but poor precision;
+- TriAD leads affiliation F1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TriAD
+from repro.baselines import (
+    AnomalyTransformerDetector,
+    DCdetectorDetector,
+    LSTMAEDetector,
+    MTGFlowDetector,
+    TS2VecDetector,
+    USADDetector,
+)
+from repro.eval import bench_archive, bench_config, render_table, run_on_archive
+
+from _common import emit
+
+SEEDS = (0, 1)
+ARCHIVE_SIZE = 10
+
+DETECTORS = [
+    ("LSTM-AE (Random)", lambda s: LSTMAEDetector(trained=False, seed=s)),
+    ("LSTM-AE (Trained)", lambda s: LSTMAEDetector(trained=True, epochs=3, seed=s)),
+    ("USAD", lambda s: USADDetector(epochs=4, seed=s)),
+    ("TS2Vec", lambda s: TS2VecDetector(epochs=2, seed=s)),
+    ("Anomaly Transformer", lambda s: AnomalyTransformerDetector(epochs=2, seed=s)),
+    ("MTGFlow", lambda s: MTGFlowDetector(epochs=4, seed=s)),
+    ("DCdetector", lambda s: DCdetectorDetector(epochs=2, seed=s)),
+    ("TriAD", lambda s: TriAD(bench_config(seed=s, epochs=8))),
+]
+
+HEADERS = [
+    "Model",
+    "F1(PW)",
+    "F1(PA)",
+    "P-AUC",
+    "R-AUC",
+    "F1-AUC",
+    "Aff-P",
+    "Aff-R",
+    "Aff-F1",
+]
+
+
+@pytest.fixture(scope="module")
+def archive():
+    return bench_archive(size=ARCHIVE_SIZE)
+
+
+@pytest.fixture(scope="module")
+def aggregates(archive):
+    return {
+        name: run_on_archive(name, factory, archive, seeds=SEEDS)
+        for name, factory in DETECTORS
+    }
+
+
+def test_table3_overall_comparison(aggregates, benchmark):
+    rows = benchmark(lambda: [agg.row() for agg in aggregates.values()])
+    table = render_table(
+        HEADERS, rows, title=f"Table III: {ARCHIVE_SIZE} UCR-style datasets, seeds={SEEDS}"
+    )
+    emit("table3_overall", table)
+
+    triad = aggregates["TriAD"].mean
+    baselines = {k: v.mean for k, v in aggregates.items() if k != "TriAD"}
+    best_baseline_f1auc = max(m["pak_f1_auc"] for m in baselines.values())
+
+    # TriAD's PA%K F1-AUC must win.  The paper reports a 3x margin over
+    # 250 hard datasets x 5 seeds; on this 10-dataset, 2-seed miniature
+    # the margin compresses to ~1.1-1.5x depending on seed draw, so the
+    # assertion checks the *winner*, not the paper's factor — see
+    # EXPERIMENTS.md for the full scaling discussion.
+    assert triad["pak_f1_auc"] > 1.05 * best_baseline_f1auc, (
+        triad["pak_f1_auc"],
+        best_baseline_f1auc,
+    )
+    # TriAD leads affiliation F1.
+    best_baseline_aff = max(m["affiliation_f1"] for m in baselines.values())
+    assert triad["affiliation_f1"] > best_baseline_aff
+    # Baselines struggle point-wise on subtle anomalies.
+    assert best_baseline_f1auc < 0.45
+
+
+def test_bench_triad_inference(archive, benchmark):
+    """Timed section: TriAD inference (the Table IV-relevant cost)."""
+    from _common import trained_triad
+
+    dataset = archive[0]
+    detector = trained_triad(dataset, bench_config(seed=0))
+    benchmark(lambda: detector.detect(dataset.test))

@@ -1,0 +1,68 @@
+"""Anomaly zoo (paper Fig. 16): six anomaly types, one detector.
+
+Builds one dataset per anomaly type the paper showcases — noise,
+duration, seasonal, trend, level shift, contextual — trains a TriAD
+model on each, and reports whether the flagged window localized the
+event, alongside the PA%K and affiliation scores.
+
+Run:
+    python examples/anomaly_zoo.py
+"""
+
+from __future__ import annotations
+
+from repro import TriAD, TriADConfig
+from repro.data import DatasetSpec, make_dataset
+from repro.eval import render_table
+from repro.metrics import affiliation_metrics, pa_k_auc, window_hits_event
+
+TYPES = ("noise", "duration", "seasonal", "trend", "level_shift", "contextual")
+
+
+def main() -> None:
+    rows = []
+    for i, anomaly_type in enumerate(TYPES):
+        dataset = make_dataset(
+            DatasetSpec(
+                name=f"zoo_{anomaly_type}",
+                family="harmonics",
+                period=44,
+                train_length=1500,
+                test_length=1800,
+                anomaly_type=anomaly_type,
+                anomaly_start=800 + 37 * i,
+                anomaly_length=90,
+                noise_level=0.04,
+                seed=100 + i,
+            )
+        )
+        detector = TriAD(TriADConfig(epochs=5, max_window=256, seed=0))
+        detector.fit(dataset.train)
+        detection = detector.detect(dataset.test)
+
+        hit = window_hits_event(detection.window, dataset.anomaly_interval)
+        curve = pa_k_auc(detection.predictions, dataset.labels)
+        affiliation = affiliation_metrics(detection.predictions, dataset.labels)
+        rows.append(
+            [
+                anomaly_type,
+                "yes" if hit else "no",
+                f"{curve.f1_auc:.3f}",
+                f"{affiliation.f1:.3f}",
+                "yes" if detection.votes.exception_applied else "no",
+            ]
+        )
+        print(f"[{anomaly_type}] window={detection.window} hit={hit}")
+
+    print()
+    print(
+        render_table(
+            ["Anomaly type", "Window hit", "PA%K F1-AUC", "Affiliation F1", "Exception"],
+            rows,
+            title="TriAD across the paper's six anomaly types (Fig. 16)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Evaluation pitfalls (paper Sec. II-B, Table II & Fig. 3).
+
+An executable version of the paper's warning about benchmarks and
+metrics:
+
+1. *Point adjustment inflates scores*: a detector that flags a single
+   point of an event gets a near-perfect F1(PA).
+2. *One-liner benchmarks*: on a KPI-style stream with explicit spikes,
+   a one-line amplitude threshold — and even a randomly initialized
+   LSTM-AE — match or beat a trained model.
+3. *PA%K and affiliation* recover an honest ranking.
+
+Run:
+    python examples/evaluation_pitfalls.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import LSTMAEDetector, OneLinerDetector, RandomScoreDetector
+from repro.data import make_archive, make_kpi_dataset
+from repro.eval import render_table
+from repro.metrics import (
+    affiliation_metrics,
+    f1_score,
+    pa_k_auc,
+    point_adjust,
+)
+
+
+def pitfall_1_pa_inflation() -> None:
+    print("pitfall 1: point adjustment rewards a single lucky hit")
+    labels = np.zeros(2000, dtype=int)
+    labels[800:900] = 1
+    lucky = np.zeros(2000, dtype=int)
+    lucky[850] = 1  # one point out of a 100-point event
+
+    rows = [
+        ["F1 (point-wise)", f"{f1_score(lucky, labels):.3f}"],
+        ["F1 (PA)", f"{f1_score(point_adjust(lucky, labels), labels):.3f}"],
+        ["F1 (PA%K AUC)", f"{pa_k_auc(lucky, labels).f1_auc:.3f}"],
+    ]
+    print(render_table(["Metric", "Score of the 1-point detector"], rows))
+    print()
+
+
+def pitfall_2_one_liner_benchmarks() -> None:
+    print("pitfall 2: 'one-liner' benchmarks (KPI-style explicit spikes)")
+    kpi = make_kpi_dataset(seed=1)
+    detectors = [
+        OneLinerDetector(),
+        RandomScoreDetector(seed=0),
+        LSTMAEDetector(trained=False, seed=0),
+        LSTMAEDetector(trained=True, epochs=3, seed=0),
+    ]
+    rows = []
+    for detector in detectors:
+        predictions = detector.fit(kpi.train).detect(kpi.test)
+        rows.append(
+            [
+                detector.name,
+                f"{f1_score(predictions, kpi.labels):.3f}",
+                f"{pa_k_auc(predictions, kpi.labels).f1_auc:.3f}",
+            ]
+        )
+    print(render_table(["Detector", "F1(PW)", "F1(PA%K)"], rows))
+    print("note: training does not help — the anomalies are explicit.\n")
+
+
+def pitfall_3_rigorous_data_and_metrics() -> None:
+    print("pitfall 3: on UCR-style subtle anomalies the same models collapse")
+    dataset = make_archive(size=4, seed=11, train_length=1200, test_length=1500)[0]
+    rows = []
+    for detector in [
+        OneLinerDetector(),
+        LSTMAEDetector(trained=True, epochs=3, seed=0),
+    ]:
+        predictions = detector.fit(dataset.train).detect(dataset.test)
+        affiliation = affiliation_metrics(predictions, dataset.labels)
+        rows.append(
+            [
+                detector.name,
+                f"{f1_score(predictions, dataset.labels):.3f}",
+                f"{pa_k_auc(predictions, dataset.labels).f1_auc:.3f}",
+                f"{affiliation.f1:.3f}",
+            ]
+        )
+    print(render_table(["Detector", "F1(PW)", "F1(PA%K)", "Affiliation F1"], rows))
+    print("rigorous data + calibrated metrics reveal the real difficulty.")
+
+
+if __name__ == "__main__":
+    pitfall_1_pa_inflation()
+    pitfall_2_one_liner_benchmarks()
+    pitfall_3_rigorous_data_and_metrics()

@@ -1,0 +1,72 @@
+"""Multivariate plant monitoring (extension beyond the paper).
+
+SWaT-like plants expose many correlated sensor channels; an anomaly
+usually manifests in a subset of them.  This example builds a 4-channel
+correlated stream with a seasonal fault on two channels, trains one
+TriAD per channel, and pools the votes — reporting both *when* the
+fault occurred and *which sensors* carried it.
+
+Run:
+    python examples/multivariate_plant.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import MultivariateTriAD, TriADConfig
+from repro.data import make_multivariate_dataset
+from repro.metrics import affiliation_metrics, precision_recall_f1
+from repro.viz import mark_intervals, sparkline
+
+
+def main() -> None:
+    dataset = make_multivariate_dataset(
+        channels=4,
+        affected=2,
+        train_length=1500,
+        test_length=2000,
+        period=48,
+        anomaly_type="noise",
+        anomaly_start=1100,
+        anomaly_length=90,
+        coupling=0.5,
+        seed=11,
+    )
+    start, end = dataset.anomaly_interval
+    print(f"{dataset.channels} channels; fault on channels "
+          f"{list(dataset.affected_channels)} at [{start}, {end})\n")
+    for c in range(dataset.channels):
+        tag = "  <- faulty" if c in dataset.affected_channels else ""
+        print(f"  ch{c}: {sparkline(dataset.test[c], width=64)}{tag}")
+
+    config = TriADConfig(epochs=4, max_window=192, seed=0)
+    detector = MultivariateTriAD(config, min_channels=2).fit(dataset)
+    detection = detector.detect(dataset)
+
+    print("\nper-channel flagged windows:")
+    for c, channel_detection in enumerate(detection.channel_detections):
+        print(f"  ch{c}: window {channel_detection.window} "
+              f"({int(detection.channel_votes[c].sum())} points flagged)")
+
+    implicated = detection.implicated_channels(start - 100, end + 100)
+    print(f"\nchannels implicated near the fault: {implicated}")
+
+    predicted = np.flatnonzero(detection.predictions)
+    print(f"pooled prediction: {predicted.size} points "
+          f"in [{predicted.min()}, {predicted.max()}]")
+    ruler = mark_intervals(64, [(int(start / len(dataset.labels) * 64),
+                                 int(np.ceil(end / len(dataset.labels) * 64)))])
+    print(f"  truth : {ruler}")
+    pred_marks = [(int(predicted.min() / len(dataset.labels) * 64),
+                   int(np.ceil(predicted.max() / len(dataset.labels) * 64)))]
+    print(f"  pred  : {mark_intervals(64, pred_marks, char='!')}")
+
+    precision, recall, f1 = precision_recall_f1(detection.predictions, dataset.labels)
+    affiliation = affiliation_metrics(detection.predictions, dataset.labels)
+    print(f"\npoint-wise P/R/F1 : {precision:.3f} / {recall:.3f} / {f1:.3f}")
+    print(f"affiliation F1    : {affiliation.f1:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: train TriAD on one synthetic dataset and detect its anomaly.
+
+Run:
+    python examples/quickstart.py
+
+What it shows:
+1. building a UCR-style dataset (anomaly-free training split, a test
+   split hiding one anomalous event);
+2. fitting the tri-domain detector on the training split only;
+3. inspecting the detection: nominated windows, MERLIN discords, votes,
+   and the final point-wise predictions;
+4. scoring with the paper's rigorous metrics (PA%K AUC, affiliation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TriAD, TriADConfig
+from repro.data import make_archive
+from repro.metrics import affiliation_metrics, pa_k_auc, window_hits_event
+
+
+def main() -> None:
+    # One dataset from the synthetic archive (one hidden event in the
+    # test split; the training split is anomaly-free).
+    dataset = make_archive(size=6, seed=3, train_length=1500, test_length=2000)[5]
+    start, end = dataset.anomaly_interval
+    print(f"dataset      : {dataset.name}")
+    print(f"train/test   : {len(dataset.train)} / {len(dataset.test)} points")
+    print(f"hidden event : [{start}, {end})  ({end - start} points, "
+          f"type={dataset.spec.anomaly_type})")
+
+    # Paper defaults are TriADConfig(); epochs reduced here for a fast demo.
+    config = TriADConfig(epochs=5, max_window=256, seed=0)
+    detector = TriAD(config).fit(dataset.train)
+    print(f"\nwindow plan  : length={detector.plan.length} "
+          f"stride={detector.plan.stride} (period~{detector.plan.period})")
+    print(f"train losses : {[round(l, 3) for l in detector.train_losses]}")
+
+    detection = detector.detect(dataset.test)
+    print(f"\ncandidates   : {detection.candidate_windows}")
+    print(f"chosen window: {detection.window} "
+          f"(hit={window_hits_event(detection.window, (start, end))})")
+    print(f"search region: {detection.search_region} "
+          f"({detection.search_region[1] - detection.search_region[0]} of "
+          f"{len(dataset.test)} points scanned by MERLIN)")
+    print(f"discords     : {len(detection.discords.discords)} lengths probed, "
+          f"exception={detection.votes.exception_applied}")
+
+    predicted = np.flatnonzero(detection.predictions)
+    print(f"predictions  : {len(predicted)} points flagged "
+          f"in [{predicted.min()}, {predicted.max()}]")
+
+    curve = pa_k_auc(detection.predictions, dataset.labels)
+    affiliation = affiliation_metrics(detection.predictions, dataset.labels)
+    print("\nscores")
+    print(f"  PA%K  F1-AUC    : {curve.f1_auc:.3f} "
+          f"(precision {curve.precision_auc:.3f}, recall {curve.recall_auc:.3f})")
+    print(f"  affiliation F1  : {affiliation.f1:.3f} "
+          f"(precision {affiliation.precision:.3f}, recall {affiliation.recall:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Running the library on the real UCR Time Series Anomaly Archive.
+
+The reproduction was developed against a synthetic stand-in archive
+(this machine is offline), but everything downstream of the loader is
+format-compatible with the genuine archive.  Point ``UCR_DIR`` at a
+directory of ``NNN_UCR_Anomaly_<name>_<trainEnd>_<start>_<end>.txt``
+files and the full pipeline runs unmodified.
+
+Without the real data available, the example demonstrates the identical
+workflow on archive files *written in the real format* by this library,
+proving the round trip.
+
+Run:
+    UCR_DIR=/path/to/UCR_Anomaly_FullData python examples/real_ucr.py
+    python examples/real_ucr.py            # self-contained fallback
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import TriAD, TriADConfig
+from repro.data import load_ucr_archive, make_archive
+from repro.eval import render_table
+from repro.metrics import pa_k_auc, window_hits_event
+
+
+def write_fallback_archive(directory: Path, count: int = 3) -> None:
+    """Write synthetic datasets in the genuine UCR file format."""
+    archive = make_archive(size=count, seed=9, train_length=1500, test_length=1800)
+    for i, ds in enumerate(archive):
+        start, end = ds.anomaly_interval
+        train_end = len(ds.train)
+        name = (
+            f"{i + 1:03d}_UCR_Anomaly_{ds.spec.family}{ds.spec.anomaly_type}"
+            f"_{train_end}_{train_end + start + 1}_{train_end + end}.txt"
+        )
+        np.savetxt(directory / name, np.concatenate([ds.train, ds.test]))
+
+
+def main() -> None:
+    ucr_dir = os.environ.get("UCR_DIR")
+    if ucr_dir and Path(ucr_dir).is_dir():
+        directory = Path(ucr_dir)
+        limit = 3  # keep the demo quick; drop for a full run
+        print(f"loading real UCR archive from {directory} (first {limit} sets)")
+    else:
+        tmp = tempfile.mkdtemp(prefix="ucr_fallback_")
+        directory = Path(tmp)
+        write_fallback_archive(directory)
+        limit = None
+        print("UCR_DIR not set — using synthetic files in the real format:")
+        for path in sorted(directory.iterdir()):
+            print(f"  {path.name}")
+
+    datasets = load_ucr_archive(directory, limit=limit)
+    rows = []
+    for dataset in datasets:
+        detector = TriAD(TriADConfig(epochs=5, max_window=256, seed=0))
+        detector.fit(dataset.train)
+        detection = detector.detect(dataset.test)
+        hit = window_hits_event(detection.window, dataset.anomaly_interval)
+        auc = pa_k_auc(detection.predictions, dataset.labels).f1_auc
+        rows.append(
+            [
+                dataset.name,
+                str(dataset.anomaly_length),
+                f"{detection.window}",
+                "yes" if hit else "no",
+                f"{auc:.3f}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["Dataset", "Anomaly len", "Flagged window", "Hit", "PA%K F1-AUC"],
+            rows,
+            title="TriAD on UCR-format files",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

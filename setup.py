@@ -1,0 +1,5 @@
+"""Setup shim for legacy editable installs (offline environments lack
+the `wheel` package that PEP 660 editable installs require)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""TriAD reproduction: self-supervised tri-domain time series anomaly
+detection (Sun et al., ICDE 2024), with every substrate implemented
+from scratch -- see DESIGN.md for the system inventory.
+
+Public API quick reference::
+
+    from repro import TriAD, TriADConfig
+    from repro.data import make_archive
+    from repro.metrics import pa_k_auc, affiliation_metrics
+
+    dataset = make_archive(size=1)[0]
+    detector = TriAD(TriADConfig(epochs=5)).fit(dataset.train)
+    detection = detector.detect(dataset.test)
+"""
+
+from .core import TriAD, TriADConfig, TriADDetection
+
+__version__ = "0.1.0"
+
+__all__ = ["TriAD", "TriADConfig", "TriADDetection", "__version__"]

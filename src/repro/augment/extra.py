@@ -1,0 +1,62 @@
+"""Additional segment augmentations from the TSAD literature.
+
+The paper's pipeline uses jitter and warp (Eq. 3-4); scaling and
+time-shift are the other two staples of the augmentation surveys it
+cites ([23], [24]).  They are *not* in TriAD's default pipeline — the
+Fig. 1 bench shows why whole-window versions of these masquerade as
+anomalies — but segment-level variants are provided for experimentation
+via ``augment_window(..., methods=...)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["scale_segment", "shift_segment"]
+
+
+def scale_segment(
+    window: np.ndarray,
+    start: int,
+    length: int,
+    rng: np.random.Generator,
+    scale_range: tuple[float, float] = (0.3, 2.0),
+) -> np.ndarray:
+    """Multiply a span's deviation-from-local-mean by a random factor.
+
+    Scaling around the local mean (rather than zero) keeps the segment's
+    level continuous with its context, so the distortion is purely one
+    of amplitude — mirroring amplitude-change anomalies.
+    """
+    window = np.asarray(window, dtype=np.float64)
+    if start < 0 or start + length > len(window):
+        raise ValueError("scale segment out of range")
+    factor = float(rng.uniform(*scale_range))
+    out = window.copy()
+    segment = out[start : start + length]
+    level = segment.mean()
+    out[start : start + length] = level + (segment - level) * factor
+    return out
+
+
+def shift_segment(
+    window: np.ndarray,
+    start: int,
+    length: int,
+    rng: np.random.Generator,
+    max_shift_fraction: float = 0.5,
+) -> np.ndarray:
+    """Roll a span in time by a random offset (phase distortion).
+
+    The span's content is circularly shifted within itself, which breaks
+    phase alignment with the surrounding periods without changing the
+    value distribution — the signature of contextual anomalies.
+    """
+    window = np.asarray(window, dtype=np.float64)
+    if start < 0 or start + length > len(window):
+        raise ValueError("shift segment out of range")
+    max_shift = max(int(length * max_shift_fraction), 1)
+    offset = int(rng.integers(1, max_shift + 1))
+    out = window.copy()
+    out[start : start + length] = np.roll(out[start : start + length], offset)
+    return out

@@ -1,0 +1,33 @@
+"""Jittering augmentation (paper Eq. 3).
+
+Adds random noise to a chosen span of a window, producing a synthetic
+'more abnormal' variant for the contrastive negative pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["jitter_segment"]
+
+
+def jitter_segment(
+    window: np.ndarray,
+    start: int,
+    length: int,
+    rng: np.random.Generator,
+    strength: float = 1.0,
+) -> np.ndarray:
+    """Return a copy of ``window`` with noise added on ``[start, start+length)``.
+
+    ``strength`` scales the noise relative to the window's standard
+    deviation, so the distortion is comparable across datasets with
+    different amplitudes.
+    """
+    window = np.asarray(window, dtype=np.float64)
+    if start < 0 or start + length > len(window):
+        raise ValueError("jitter segment out of range")
+    scale = max(float(window.std()), 1e-3) * strength
+    out = window.copy()
+    out[start : start + length] += rng.standard_normal(length) * scale
+    return out

@@ -1,0 +1,38 @@
+"""Warping augmentation (paper Eq. 4).
+
+Replaces a span of the window with its Butterworth-filtered version — a
+smooth curve emphasizing the primary frequencies — which flattens fine
+structure the way real contextual anomalies do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..signal.butterworth import butterworth_smooth
+
+__all__ = ["warp_segment"]
+
+
+def warp_segment(
+    window: np.ndarray,
+    start: int,
+    length: int,
+    rng: np.random.Generator,
+    cutoff_range: tuple[float, float] = (0.04, 0.25),
+    order: int = 3,
+) -> np.ndarray:
+    """Return a copy of ``window`` with ``[start, start+length)`` warped.
+
+    The whole window is low-pass filtered (so the filter has context and
+    no edge transient sits inside the replaced span) with a random cutoff
+    drawn from ``cutoff_range``, then only the chosen span is swapped in.
+    """
+    window = np.asarray(window, dtype=np.float64)
+    if start < 0 or start + length > len(window):
+        raise ValueError("warp segment out of range")
+    cutoff = float(rng.uniform(*cutoff_range))
+    smooth = butterworth_smooth(window, cutoff, order=order)
+    out = window.copy()
+    out[start : start + length] = smooth[start : start + length]
+    return out

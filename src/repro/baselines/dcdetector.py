@@ -1,0 +1,149 @@
+"""DCdetector-lite baseline (Yang et al., KDD 2023).
+
+DCdetector contrasts two attention branches — patch-wise (attention
+across patches) and in-patch (attention within patches) — trained so
+their representations *agree* on normal data; at test time the
+discrepancy between the branches is the anomaly score, since anomalies
+break the cross-scale consistency the branches learned.
+
+This lite version keeps the dual-branch structure with a shared
+embedding, trains with a stop-gradient symmetric consistency loss (as
+the original does, no negatives needed), and scores by branch
+discrepancy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..signal.normalize import zscore
+from .base import BaseDetector
+
+__all__ = ["DCdetectorDetector"]
+
+
+class _Branch(nn.Module):
+    """Attention branch over a reshaped patch view of the window."""
+
+    def __init__(self, dim: int, heads: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.attention = nn.MultiHeadSelfAttention(dim, heads, rng=rng)
+        self.norm = nn.LayerNorm(dim)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        attended, _ = self.attention(x)
+        return self.norm(x + attended)
+
+
+class DCdetectorDetector(BaseDetector):
+    """Dual attention contrastive detector (lite)."""
+
+    name = "DCdetector"
+
+    def __init__(
+        self,
+        window: int = 64,
+        patch: int = 8,
+        dim: int = 16,
+        heads: int = 2,
+        epochs: int = 4,
+        batch_size: int = 8,
+        learning_rate: float = 1e-3,
+        max_windows: int = 64,
+        seed: int = 0,
+        threshold_sigma: float = 3.0,
+    ) -> None:
+        super().__init__(threshold_sigma)
+        if window % patch != 0:
+            raise ValueError("window must be a multiple of patch")
+        self.window = window
+        self.patch = patch
+        self.dim = dim
+        self.heads = heads
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.max_windows = max_windows
+        self.seed = seed
+        self.embed: nn.Linear | None = None
+        self.patch_branch: _Branch | None = None
+        self.inpatch_branch: _Branch | None = None
+
+    def _views(self, windows: np.ndarray) -> tuple[nn.Tensor, nn.Tensor]:
+        """Per-timestamp representations from both branches, (B, L, dim)."""
+        batch, length = windows.shape
+        num_patches = length // self.patch
+        x = nn.Tensor(windows).reshape(batch, length, 1)
+        embedded = self.embed(x)  # (B, L, dim)
+
+        # Patch-wise branch: attention across patch summaries, broadcast
+        # back to timestamps.
+        patches = embedded.reshape(batch, num_patches, self.patch, self.dim).mean(axis=2)
+        patch_rep = self.patch_branch(patches)  # (B, P, dim)
+        patch_full = nn.stack([patch_rep] * self.patch, axis=2).reshape(
+            batch, length, self.dim
+        )
+
+        # In-patch branch: attention within each patch independently.
+        inpatch_input = embedded.reshape(batch * num_patches, self.patch, self.dim)
+        inpatch_rep = self.inpatch_branch(inpatch_input).reshape(batch, length, self.dim)
+        return patch_full, inpatch_rep
+
+    def fit(self, train_series: np.ndarray) -> "DCdetectorDetector":
+        series = self._remember_train(train_series)
+        rng = np.random.default_rng(self.seed)
+        self.embed = nn.Linear(1, self.dim, rng=rng)
+        self.patch_branch = _Branch(self.dim, self.heads, rng)
+        self.inpatch_branch = _Branch(self.dim, self.heads, rng)
+        w = min(self.window, len(series))
+        w -= w % self.patch
+        self._effective_window = max(w, self.patch)
+        windows, _ = self._windows(
+            zscore(series), self._effective_window, max(self._effective_window // 2, 1)
+        )
+        if len(windows) > self.max_windows:
+            windows = windows[rng.choice(len(windows), self.max_windows, replace=False)]
+        parameters = (
+            self.embed.parameters()
+            + self.patch_branch.parameters()
+            + self.inpatch_branch.parameters()
+        )
+        optimizer = nn.Adam(parameters, lr=self.learning_rate)
+        for _ in range(self.epochs):
+            order = rng.permutation(len(windows))
+            for start in range(0, len(order), self.batch_size):
+                batch = windows[order[start : start + self.batch_size]]
+                if len(batch) == 0:
+                    continue
+                view_a, view_b = self._views(batch)
+                # Symmetric stop-gradient consistency (SimSiam-style, as
+                # in the original's discrepancy loss).
+                loss = (
+                    -(F.cosine_similarity(view_a, view_b.detach(), axis=-1).mean())
+                    - (F.cosine_similarity(view_b, view_a.detach(), axis=-1).mean())
+                ) * 0.5
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(parameters, 5.0)
+                optimizer.step()
+        return self
+
+    def score_series(self, series: np.ndarray) -> np.ndarray:
+        if self.embed is None:
+            raise RuntimeError("fit() first")
+        normalized = zscore(series)
+        w = self._effective_window
+        windows, starts = self._windows(normalized, w, max(w // 2, 1))
+        with nn.no_grad():
+            view_a, view_b = self._views(windows)
+            similarity = F.cosine_similarity(view_a, view_b, axis=-1).data  # (B, L)
+        discrepancy = 1.0 - similarity
+        accumulated = np.zeros(len(series))
+        counts = np.zeros(len(series))
+        for row, start in enumerate(starts):
+            accumulated[start : start + w] += discrepancy[row]
+            counts[start : start + w] += 1.0
+        counts[counts == 0] = 1.0
+        return accumulated / counts

@@ -1,0 +1,126 @@
+"""DeepAnT-lite baseline (Munir et al., IEEE Access 2019; paper ref. [37]).
+
+A *prediction-based* detector: a causal convolutional network forecasts
+the next point from a history window; the anomaly score of a point is
+its absolute forecast error.  Exercises the causal-padding convolution
+of the numpy substrate and represents the prediction-based family the
+paper discusses alongside reconstruction models (Sec. I).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..signal.normalize import zscore
+from .base import BaseDetector
+
+__all__ = ["DeepAnTDetector"]
+
+
+class _CausalForecaster(nn.Module):
+    """Stacked causal convolutions + linear head predicting x[t+1]."""
+
+    def __init__(self, channels: int, depth: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        layers: list[nn.Module] = []
+        in_channels = 1
+        for level in range(depth):
+            layers.append(
+                nn.Conv1d(
+                    in_channels,
+                    channels,
+                    kernel_size=3,
+                    dilation=2**level,
+                    padding="causal",
+                    rng=rng,
+                )
+            )
+            layers.append(nn.ReLU())
+            in_channels = channels
+        self.body = nn.Sequential(*layers)
+        self.head = nn.Linear(channels, 1, rng=rng)
+
+    def forward(self, windows: nn.Tensor) -> nn.Tensor:
+        """Predict the next value from each ``(batch, length)`` window."""
+        batch, length = windows.shape
+        hidden = self.body(windows.reshape(batch, 1, length))  # (B, C, L)
+        last = hidden[:, :, length - 1]  # causal: sees the whole window
+        return self.head(last).reshape(batch)
+
+
+class DeepAnTDetector(BaseDetector):
+    """Causal-CNN one-step forecaster scored by absolute error."""
+
+    name = "DeepAnT"
+
+    def __init__(
+        self,
+        window: int = 32,
+        channels: int = 16,
+        depth: int = 3,
+        epochs: int = 4,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+        max_windows: int = 256,
+        seed: int = 0,
+        threshold_sigma: float = 3.0,
+    ) -> None:
+        super().__init__(threshold_sigma)
+        self.window = window
+        self.channels = channels
+        self.depth = depth
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.max_windows = max_windows
+        self.seed = seed
+        self.model: _CausalForecaster | None = None
+
+    def _history_and_targets(self, series: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """All (window, next-value) pairs of the z-scored series."""
+        w = min(self.window, len(series) - 1)
+        view = np.lib.stride_tricks.sliding_window_view(series, w)
+        histories = view[:-1]
+        targets = series[w:]
+        return histories, targets
+
+    def fit(self, train_series: np.ndarray) -> "DeepAnTDetector":
+        series = zscore(self._remember_train(train_series))
+        rng = np.random.default_rng(self.seed)
+        self.model = _CausalForecaster(self.channels, self.depth, rng)
+        histories, targets = self._history_and_targets(series)
+        if len(histories) > self.max_windows:
+            chosen = rng.choice(len(histories), self.max_windows, replace=False)
+            histories, targets = histories[chosen], targets[chosen]
+        optimizer = nn.Adam(self.model.parameters(), lr=self.learning_rate)
+        for _ in range(self.epochs):
+            order = rng.permutation(len(histories))
+            for start in range(0, len(order), self.batch_size):
+                index = order[start : start + self.batch_size]
+                if len(index) == 0:
+                    continue
+                prediction = self.model(nn.Tensor(histories[index]))
+                loss = F.mse_loss(prediction, targets[index])
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(self.model.parameters(), 5.0)
+                optimizer.step()
+        return self
+
+    def score_series(self, series: np.ndarray) -> np.ndarray:
+        if self.model is None:
+            raise RuntimeError("fit() first")
+        normalized = zscore(series)
+        histories, targets = self._history_and_targets(normalized)
+        with nn.no_grad():
+            predictions = self.model(nn.Tensor(histories)).data
+        errors = np.abs(predictions - targets)
+        w = len(normalized) - len(targets)
+        scores = np.zeros(len(normalized))
+        scores[w:] = errors
+        # The warm-up prefix has no forecast; give it the median score so
+        # thresholding is not biased by structural zeros.
+        scores[:w] = np.median(errors) if len(errors) else 0.0
+        return scores

@@ -1,0 +1,53 @@
+"""Trivial baselines: random scores and the 'one-liner' threshold.
+
+The paper argues (Sec. II-B, Fig. 3) that on flawed benchmarks a random
+function — or one line of code thresholding raw amplitude — detects the
+anomalies.  These detectors make that argument executable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..signal.normalize import robust_zscore
+from .base import BaseDetector
+
+__all__ = ["RandomScoreDetector", "OneLinerDetector"]
+
+
+class RandomScoreDetector(BaseDetector):
+    """Uniform random scores; learns nothing."""
+
+    name = "Random"
+
+    def __init__(self, seed: int = 0, threshold_sigma: float = 3.0) -> None:
+        super().__init__(threshold_sigma)
+        self.seed = seed
+
+    def fit(self, train_series: np.ndarray) -> "RandomScoreDetector":
+        self._remember_train(train_series)
+        return self
+
+    def score_series(self, series: np.ndarray) -> np.ndarray:
+        # Deterministic per-series randomness: hash the content so train
+        # and test get independent but reproducible scores.
+        digest = int(abs(float(np.sum(series))) * 1e6) % (2**31)
+        rng = np.random.default_rng(self.seed ^ digest)
+        return rng.random(len(series))
+
+
+class OneLinerDetector(BaseDetector):
+    """The paper's 'one-liner': anomaly score = |robust z-score|.
+
+    Detects amplitude-explicit anomalies (KPI/SWaT spikes) perfectly and
+    fails on the UCR archive's subtle shape anomalies — by design.
+    """
+
+    name = "One-liner"
+
+    def fit(self, train_series: np.ndarray) -> "OneLinerDetector":
+        self._remember_train(train_series)
+        return self
+
+    def score_series(self, series: np.ndarray) -> np.ndarray:
+        return np.abs(robust_zscore(series))

@@ -1,0 +1,58 @@
+"""Spectral Residual baseline (Ren et al., KDD 2019 — SR-CNN's SR core).
+
+A classic training-free time series anomaly detector: the log-amplitude
+spectrum minus its local average (the "spectral residual") is mapped
+back to the time domain as a saliency map; salient points are anomalies.
+Included as an additional non-deep comparator alongside the paper's
+baseline set — it shares the one-liner detector's blindness to subtle
+shape anomalies but handles spikes and level changes well.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..signal.normalize import zscore
+from .base import BaseDetector
+
+__all__ = ["SpectralResidualDetector"]
+
+
+def spectral_residual_saliency(x: np.ndarray, average_window: int = 3) -> np.ndarray:
+    """Saliency map of ``x`` via the spectral residual transform."""
+    x = np.asarray(x, dtype=np.float64)
+    spectrum = np.fft.fft(x)
+    amplitude = np.abs(spectrum)
+    amplitude = np.maximum(amplitude, 1e-12)
+    log_amplitude = np.log(amplitude)
+    kernel = np.ones(average_window) / average_window
+    averaged = np.convolve(
+        np.pad(log_amplitude, (average_window // 2, average_window - 1 - average_window // 2), mode="edge"),
+        kernel,
+        mode="valid",
+    )
+    residual = log_amplitude - averaged
+    saliency = np.abs(np.fft.ifft(np.exp(residual + 1j * np.angle(spectrum))))
+    return saliency
+
+
+class SpectralResidualDetector(BaseDetector):
+    """Training-free saliency detector over the whole series."""
+
+    name = "Spectral Residual"
+
+    def __init__(self, average_window: int = 3, threshold_sigma: float = 3.0) -> None:
+        super().__init__(threshold_sigma)
+        self.average_window = average_window
+
+    def fit(self, train_series: np.ndarray) -> "SpectralResidualDetector":
+        self._remember_train(train_series)
+        return self
+
+    def score_series(self, series: np.ndarray) -> np.ndarray:
+        saliency = spectral_residual_saliency(zscore(series), self.average_window)
+        # Normalize saliency relative to its local level, as in SR-CNN.
+        baseline = np.convolve(
+            np.pad(saliency, (10, 10), mode="edge"), np.ones(21) / 21, mode="valid"
+        )
+        return (saliency - baseline) / np.maximum(baseline, 1e-12)

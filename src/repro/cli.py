@@ -1,0 +1,297 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``archive``   Generate a synthetic UCR-style archive summary (or write
+              the series to ``--out`` as real-UCR-format .txt files).
+``detect``    Train TriAD on one dataset (synthetic by index, or a real
+              UCR file) and print the detection report.
+``compare``   Run a set of detectors over a small archive and print the
+              Table III-style leaderboard.
+``experiments``  List the paper artifacts and the bench regenerating each.
+``report``    Stitch ``benchmarks/results/*.txt`` into one markdown report.
+``tune``      Grid-search TriAD hyper-parameters on a small archive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TriAD (ICDE 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_archive = sub.add_parser("archive", help="generate a synthetic archive")
+    p_archive.add_argument("--size", type=int, default=10)
+    p_archive.add_argument("--seed", type=int, default=7)
+    p_archive.add_argument("--train-length", type=int, default=1600)
+    p_archive.add_argument("--test-length", type=int, default=2000)
+    p_archive.add_argument("--out", type=Path, default=None,
+                           help="write datasets as UCR-format .txt files")
+
+    p_detect = sub.add_parser("detect", help="run TriAD on one dataset")
+    p_detect.add_argument("--dataset", type=str, default="0",
+                          help="archive index, or path to a real UCR file")
+    p_detect.add_argument("--epochs", type=int, default=5)
+    p_detect.add_argument("--seed", type=int, default=0)
+    p_detect.add_argument("--save", type=Path, default=None,
+                          help="save the fitted detector (npz)")
+
+    p_compare = sub.add_parser("compare", help="leaderboard over an archive")
+    p_compare.add_argument("--size", type=int, default=4)
+    p_compare.add_argument("--epochs", type=int, default=4)
+    p_compare.add_argument("--detectors", type=str,
+                           default="one-liner,lstm-ae,triad",
+                           help="comma list: one-liner,random,lstm-ae,"
+                                "lstm-ae-random,usad,ts2vec,mtgflow,"
+                                "dcdetector,anomaly-transformer,"
+                                "spectral-residual,changepoint,donut,"
+                                "deepant,triad")
+    p_compare.add_argument("--json", type=Path, default=None,
+                           help="also write results to this JSON file")
+    p_compare.add_argument("--mode", choices=("binary", "scores"), default="binary",
+                           help="binary: thresholded predictions + paper metrics; "
+                                "scores: threshold-free ROC/PR AUC (baselines only)")
+
+    sub.add_parser("experiments", help="list paper artifacts and benches")
+
+    p_report = sub.add_parser("report", help="build a markdown report from bench results")
+    p_report.add_argument("--results", type=Path, default=Path("benchmarks/results"))
+    p_report.add_argument("--out", type=Path, default=None,
+                          help="write the report here instead of stdout")
+
+    p_tune = sub.add_parser("tune", help="grid-search TriAD hyper-parameters")
+    p_tune.add_argument("--size", type=int, default=3)
+    p_tune.add_argument("--epochs", type=int, default=2)
+    p_tune.add_argument("--alpha", type=str, default="0.2,0.4,0.6",
+                        help="comma list of alpha values to sweep")
+    p_tune.add_argument("--depth", type=str, default="",
+                        help="comma list of encoder depths to sweep")
+    return parser
+
+
+def _cmd_archive(args) -> int:
+    from .data import anomaly_length_distribution, make_archive
+    from .eval import render_table
+
+    archive = make_archive(
+        size=args.size,
+        seed=args.seed,
+        train_length=args.train_length,
+        test_length=args.test_length,
+    )
+    rows = [
+        [
+            ds.name,
+            ds.spec.family,
+            ds.spec.anomaly_type,
+            str(ds.anomaly_length),
+            f"[{ds.anomaly_interval[0]}, {ds.anomaly_interval[1]})",
+        ]
+        for ds in archive
+    ]
+    print(render_table(
+        ["Dataset", "Family", "Anomaly", "Length", "Interval"], rows,
+        title=f"Synthetic archive (seed={args.seed})",
+    ))
+    dist = anomaly_length_distribution(archive)
+    print("\nLength distribution: " + ", ".join(f"{k}: {v:.0%}" for k, v in dist.items()))
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        for i, ds in enumerate(archive):
+            start, end = ds.anomaly_interval
+            train_end = len(ds.train)
+            name = (
+                f"{i + 1:03d}_UCR_Anomaly_{ds.spec.family}{ds.spec.anomaly_type}"
+                f"_{train_end}_{train_end + start + 1}_{train_end + end}.txt"
+            )
+            np.savetxt(args.out / name, np.concatenate([ds.train, ds.test]))
+        print(f"\nwrote {len(archive)} UCR-format files to {args.out}")
+    return 0
+
+
+def _load_dataset(spec: str):
+    from .data import load_ucr_file, make_archive
+
+    path = Path(spec)
+    if path.exists():
+        return load_ucr_file(path)
+    index = int(spec)
+    return make_archive(size=index + 1, seed=7, train_length=1600, test_length=2000)[index]
+
+
+def _cmd_detect(args) -> int:
+    from . import TriAD, TriADConfig
+    from .core import save_detector
+    from .metrics import affiliation_metrics, pa_k_auc, window_hits_event
+
+    dataset = _load_dataset(args.dataset)
+    print(f"dataset {dataset.name}: train={len(dataset.train)} test={len(dataset.test)}")
+    detector = TriAD(TriADConfig(epochs=args.epochs, seed=args.seed, max_window=256))
+    detector.fit(dataset.train)
+    detection = detector.detect(dataset.test)
+
+    event = dataset.anomaly_interval
+    print(f"anomaly       : [{event[0]}, {event[1]})")
+    print(f"chosen window : {detection.window} "
+          f"(hit={window_hits_event(detection.window, event)})")
+    print(f"search region : {detection.search_region}")
+    print(f"exception     : {detection.votes.exception_applied}")
+    curve = pa_k_auc(detection.predictions, dataset.labels)
+    affiliation = affiliation_metrics(detection.predictions, dataset.labels)
+    print(f"PA%K F1-AUC   : {curve.f1_auc:.3f}")
+    print(f"affiliation F1: {affiliation.f1:.3f}")
+
+    if args.save is not None:
+        save_detector(detector, args.save)
+        print(f"saved detector to {args.save}")
+    return 0
+
+
+_DETECTOR_FACTORIES = {
+    "one-liner": lambda seed, epochs: _b().OneLinerDetector(),
+    "random": lambda seed, epochs: _b().RandomScoreDetector(seed=seed),
+    "lstm-ae": lambda seed, epochs: _b().LSTMAEDetector(trained=True, epochs=epochs, seed=seed),
+    "lstm-ae-random": lambda seed, epochs: _b().LSTMAEDetector(trained=False, seed=seed),
+    "usad": lambda seed, epochs: _b().USADDetector(epochs=epochs, seed=seed),
+    "ts2vec": lambda seed, epochs: _b().TS2VecDetector(epochs=max(epochs // 2, 1), seed=seed),
+    "mtgflow": lambda seed, epochs: _b().MTGFlowDetector(epochs=epochs, seed=seed),
+    "dcdetector": lambda seed, epochs: _b().DCdetectorDetector(epochs=max(epochs // 2, 1), seed=seed),
+    "anomaly-transformer": lambda seed, epochs: _b().AnomalyTransformerDetector(
+        epochs=max(epochs // 2, 1), seed=seed
+    ),
+    "spectral-residual": lambda seed, epochs: _b().SpectralResidualDetector(),
+    "changepoint": lambda seed, epochs: _b().ChangePointDetector(),
+    "donut": lambda seed, epochs: _b().DonutDetector(epochs=epochs, seed=seed),
+    "deepant": lambda seed, epochs: _b().DeepAnTDetector(epochs=epochs, seed=seed),
+}
+
+
+def _b():
+    from . import baselines
+
+    return baselines
+
+
+def _cmd_compare(args) -> int:
+    from . import TriAD, TriADConfig
+    from .data import make_archive
+    from .eval import (
+        METRIC_NAMES,
+        SCORE_METRIC_NAMES,
+        render_table,
+        run_on_archive,
+        run_scores_on_archive,
+    )
+    from .eval.persistence import save_results
+
+    archive = make_archive(size=args.size, seed=7, train_length=1600, test_length=2000)
+    names = [n.strip() for n in args.detectors.split(",") if n.strip()]
+    aggregates = []
+    for name in names:
+        if name == "triad":
+            if args.mode == "scores":
+                print("triad emits binary predictions; use --mode binary",
+                      file=sys.stderr)
+                return 2
+            factory = lambda s: TriAD(  # noqa: E731 - tiny adapter
+                TriADConfig(epochs=args.epochs, seed=s, max_window=256)
+            )
+        elif name in _DETECTOR_FACTORIES:
+            base = _DETECTOR_FACTORIES[name]
+            factory = lambda s, base=base: base(s, args.epochs)
+        else:
+            print(f"unknown detector {name!r}", file=sys.stderr)
+            return 2
+        runner = run_scores_on_archive if args.mode == "scores" else run_on_archive
+        aggregates.append(runner(name, factory, archive, seeds=(0,)))
+
+    metric_names = SCORE_METRIC_NAMES if args.mode == "scores" else METRIC_NAMES
+    rows = [agg.row(metrics=metric_names) for agg in aggregates]
+    print(render_table(["Model"] + list(metric_names), rows,
+                       title=f"Leaderboard: {args.size} datasets ({args.mode})"))
+    if args.json is not None:
+        save_results(aggregates, args.json)
+        print(f"\nwrote results to {args.json}")
+    return 0
+
+
+def _cmd_experiments(_args) -> int:
+    from .eval import EXPERIMENTS, render_table
+
+    rows = [
+        [e.id, e.paper_artifact, e.bench_module, e.description]
+        for e in EXPERIMENTS.values()
+    ]
+    print(render_table(["Id", "Artifact", "Bench", "What it shows"], rows))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .eval import build_report
+
+    try:
+        report = build_report(args.results)
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.out is not None:
+        args.out.write_text(report)
+        print(f"wrote report to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .core import TriADConfig
+    from .data import make_archive
+    from .eval import grid_search, render_table
+
+    grid: dict[str, list] = {}
+    if args.alpha:
+        grid["alpha"] = [float(v) for v in args.alpha.split(",") if v.strip()]
+    if args.depth:
+        grid["depth"] = [int(v) for v in args.depth.split(",") if v.strip()]
+    if not grid:
+        print("nothing to sweep: pass --alpha and/or --depth", file=sys.stderr)
+        return 2
+    archive = make_archive(size=args.size, seed=7, train_length=1200, test_length=1500)
+    base = TriADConfig(epochs=args.epochs, max_window=192, seed=0)
+    result = grid_search(archive, grid, base_config=base)
+    print(render_table(
+        ["Configuration", "Tri-window accuracy"],
+        result.table_rows(),
+        title=f"Grid search over {args.size} datasets",
+    ))
+    best = ", ".join(f"{k}={v}" for k, v in result.points[0].overrides)
+    print(f"\nbest: {best} (accuracy {result.best_score:.3f})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "archive": _cmd_archive,
+        "detect": _cmd_detect,
+        "compare": _cmd_compare,
+        "experiments": _cmd_experiments,
+        "report": _cmd_report,
+        "tune": _cmd_tune,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""TriAD core: the paper's primary contribution."""
+
+from .config import DOMAINS, TriADConfig
+from .detector import TriAD, TriADDetection
+from .encoder import DilatedConvEncoder, ResidualBlock, TriDomainEncoder
+from .features import domain_channels, extract_all_domains, extract_domain
+from .multivariate import MultivariateDetection, MultivariateTriAD
+from .losses import inter_domain_loss, intra_domain_loss, total_contrastive_loss
+from .persistence import load_detector, save_detector
+from .scoring import VoteResult, accumulate_votes, score_votes, threshold_votes
+from .trainer import TrainResult, train_encoder
+from .weighting import score_votes_weighted, weighted_votes
+
+__all__ = [
+    "DOMAINS",
+    "TriADConfig",
+    "TriAD",
+    "TriADDetection",
+    "DilatedConvEncoder",
+    "ResidualBlock",
+    "TriDomainEncoder",
+    "domain_channels",
+    "extract_all_domains",
+    "extract_domain",
+    "inter_domain_loss",
+    "intra_domain_loss",
+    "total_contrastive_loss",
+    "VoteResult",
+    "accumulate_votes",
+    "score_votes",
+    "threshold_votes",
+    "TrainResult",
+    "train_encoder",
+    "MultivariateDetection",
+    "MultivariateTriAD",
+    "load_detector",
+    "save_detector",
+    "score_votes_weighted",
+    "weighted_votes",
+]

@@ -1,0 +1,120 @@
+"""Anomaly voting and thresholding (paper Eq. 8, Sec. III-D3, Sec. IV-G).
+
+Every test point collects votes: one if it lies inside the TriAD-flagged
+window, plus one per discord (one per searched length) that covers it.
+Points with votes above a threshold — by default the mean vote among
+points that received any vote — are predicted anomalous.
+
+The *discord-fail exception* (Sec. IV-G): when the search window holds
+more anomalous than normal data, MERLIN's discords all land on the
+*normal* padding instead.  If (almost) no discord mass falls inside the
+flagged window, TriAD falls back to predicting the entire window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..discord.merlin import MerlinResult
+
+__all__ = ["VoteResult", "accumulate_votes", "threshold_votes", "score_votes"]
+
+
+@dataclass
+class VoteResult:
+    """Per-point votes and the resulting binary predictions."""
+
+    votes: np.ndarray
+    threshold: float
+    predictions: np.ndarray
+    exception_applied: bool
+
+
+def accumulate_votes(
+    test_length: int,
+    window: tuple[int, int],
+    discords: MerlinResult,
+    search_offset: int,
+) -> np.ndarray:
+    """Eq. 8: sum the TriAD window vote and the per-length discord votes.
+
+    ``search_offset`` maps discord indices (relative to the padded
+    search region) back to absolute test coordinates.
+    """
+    votes = np.zeros(test_length, dtype=np.float64)
+    start, end = window
+    votes[start:end] += 1.0
+    for discord in discords.discords:
+        lo = search_offset + discord.index
+        hi = lo + discord.length
+        lo = max(lo, 0)
+        hi = min(hi, test_length)
+        if hi > lo:
+            votes[lo:hi] += 1.0
+    return votes
+
+
+def threshold_votes(votes: np.ndarray, percentile: float | None = None) -> float:
+    """Voting threshold delta.
+
+    Default (``percentile=None``) is the paper's simple rule: the mean of
+    the votes over points that received at least one vote.  Passing a
+    percentile (e.g. 90) reproduces the threshold study of Fig. 13.
+    """
+    voted = votes[votes > 0]
+    if voted.size == 0:
+        return 0.0
+    if percentile is None:
+        return float(voted.mean())
+    return float(np.percentile(voted, percentile))
+
+
+def score_votes(
+    test_length: int,
+    window: tuple[int, int],
+    discords: MerlinResult,
+    search_offset: int,
+    percentile: float | None = None,
+    exception_fraction: float = 0.05,
+) -> VoteResult:
+    """Full scoring pass: votes, threshold, exception, predictions.
+
+    Parameters
+    ----------
+    exception_fraction:
+        If less than this fraction of the total discord vote mass falls
+        inside the flagged window, the discord-fail exception fires and
+        the whole window is predicted anomalous.
+    """
+    votes = accumulate_votes(test_length, window, discords, search_offset)
+    start, end = window
+
+    discord_votes = votes.copy()
+    discord_votes[start:end] -= 1.0  # remove the window's own vote
+    total_mass = float(discord_votes.sum())
+    inside_mass = float(discord_votes[start:end].sum())
+    exception = total_mass > 0 and inside_mass / total_mass < exception_fraction
+
+    if exception:
+        predictions = np.zeros(test_length, dtype=np.int64)
+        predictions[start:end] = 1
+        return VoteResult(
+            votes=votes,
+            threshold=float("nan"),
+            predictions=predictions,
+            exception_applied=True,
+        )
+
+    delta = threshold_votes(votes, percentile)
+    predictions = (votes > delta).astype(np.int64)
+    if not predictions.any():
+        # Degenerate fall-back: never return an empty prediction — flag
+        # the highest-voted points so downstream metrics stay defined.
+        predictions = (votes >= votes.max()).astype(np.int64) if votes.max() > 0 else predictions
+        if not predictions.any():
+            predictions[start:end] = 1
+    return VoteResult(
+        votes=votes, threshold=delta, predictions=predictions, exception_applied=False
+    )

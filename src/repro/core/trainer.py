@@ -1,0 +1,129 @@
+"""Training loop for TriAD (paper Sec. IV-A3).
+
+Trains the tri-domain encoder on *normal data only*: windows of the
+training split paired with freshly augmented variants each epoch,
+optimized with Adam under the combined contrastive loss.  A 10%
+validation split tracks generalization and the best-validation weights
+are restored at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..augment import augment_batch
+from ..signal.windows import WindowPlan, plan_windows, sliding_windows
+from .config import TriADConfig
+from .encoder import TriDomainEncoder
+from .features import extract_all_domains
+from .losses import total_contrastive_loss
+
+__all__ = ["TrainResult", "train_encoder"]
+
+
+@dataclass
+class TrainResult:
+    """A fitted encoder plus the segmentation plan and loss history."""
+
+    encoder: TriDomainEncoder
+    plan: WindowPlan
+    config: TriADConfig
+    train_losses: list[float] = field(default_factory=list)
+    val_losses: list[float] = field(default_factory=list)
+
+
+def _batches(count: int, batch_size: int, rng: np.random.Generator):
+    """Yield shuffled index batches; drop sub-2 remainders (a contrastive
+    batch needs at least two windows to form positive pairs)."""
+    order = rng.permutation(count)
+    for start in range(0, count, batch_size):
+        batch = order[start : start + batch_size]
+        if len(batch) >= 2:
+            yield batch
+
+
+def _epoch_loss(
+    encoder: TriDomainEncoder,
+    windows: np.ndarray,
+    period: int,
+    config: TriADConfig,
+    rng: np.random.Generator,
+    optimizer: nn.Adam | None,
+) -> float:
+    """One pass over ``windows``; updates weights when ``optimizer`` given."""
+    losses = []
+    for batch_idx in _batches(len(windows), config.batch_size, rng):
+        batch = windows[batch_idx]
+        augmented = augment_batch(batch, rng)
+        original_features = extract_all_domains(batch, period, config.domains)
+        augmented_features = extract_all_domains(augmented, period, config.domains)
+        r_orig = encoder(original_features)
+        r_aug = encoder(augmented_features)
+        loss = total_contrastive_loss(
+            r_orig,
+            r_aug,
+            alpha=config.alpha,
+            temperature=config.temperature,
+            use_intra=config.use_intra,
+            use_inter=config.use_inter,
+        )
+        if optimizer is not None:
+            optimizer.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(encoder.parameters(), config.grad_clip)
+            optimizer.step()
+        losses.append(float(loss.data))
+    return float(np.mean(losses)) if losses else 0.0
+
+
+def train_encoder(train_series: np.ndarray, config: TriADConfig) -> TrainResult:
+    """Fit a :class:`TriDomainEncoder` on an anomaly-free training series.
+
+    Returns the encoder with its best-validation weights restored,
+    together with the window plan used for segmentation.
+    """
+    train_series = np.asarray(train_series, dtype=np.float64)
+    rng = np.random.default_rng(config.seed)
+    plan = plan_windows(
+        train_series,
+        periods_per_window=config.periods_per_window,
+        stride_fraction=config.stride_fraction,
+        min_length=config.min_window,
+        max_length=config.max_window,
+    )
+    windows, _ = sliding_windows(train_series, plan.length, plan.stride)
+
+    # Hold out a random validation slice (paper: 10%).
+    count = len(windows)
+    val_count = max(int(round(count * config.validation_fraction)), 1) if count > 4 else 0
+    order = rng.permutation(count)
+    val_windows = windows[order[:val_count]]
+    fit_windows = windows[order[val_count:]]
+
+    encoder = TriDomainEncoder(config, rng=np.random.default_rng(config.seed))
+    optimizer = nn.Adam(encoder.parameters(), lr=config.learning_rate)
+    result = TrainResult(encoder=encoder, plan=plan, config=config)
+
+    best_val = np.inf
+    best_state = encoder.state_dict()
+    for _ in range(config.epochs):
+        encoder.train()
+        train_loss = _epoch_loss(encoder, fit_windows, plan.period, config, rng, optimizer)
+        result.train_losses.append(train_loss)
+        if val_count:
+            encoder.eval()
+            with nn.no_grad():
+                val_loss = _epoch_loss(
+                    encoder, val_windows, plan.period, config, rng, optimizer=None
+                )
+            result.val_losses.append(val_loss)
+            if val_loss < best_val:
+                best_val = val_loss
+                best_state = encoder.state_dict()
+    if val_count and result.val_losses:
+        encoder.load_state_dict(best_state)
+    encoder.eval()
+    return result

@@ -1,0 +1,103 @@
+"""Weighted anomaly scoring — the paper's stated future work.
+
+Sec. III-D3: "in future research, we anticipate that an enhanced scoring
+function, possibly integrating normalization and more sophisticated
+weights, could significantly improve prediction outcomes."  This module
+implements that enhancement:
+
+- each discord's vote is weighted by its *length-normalized* nearest
+  neighbor distance relative to the strongest discord, so marginal
+  discords no longer count as much as decisive ones;
+- the TriAD window's vote carries a configurable weight;
+- votes are normalized to [0, 1] before thresholding, making the
+  threshold dataset-independent.
+
+The ``bench_fig9_ablation`` harness family can compare this scorer
+against the paper's unweighted Eq. 8 (see ``score_votes``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..discord.merlin import MerlinResult
+from .scoring import VoteResult
+
+__all__ = ["weighted_votes", "score_votes_weighted"]
+
+
+def weighted_votes(
+    test_length: int,
+    window: tuple[int, int],
+    discords: MerlinResult,
+    search_offset: int,
+    window_weight: float = 1.0,
+) -> np.ndarray:
+    """Distance-weighted vote accumulation, normalized to [0, 1]."""
+    votes = np.zeros(test_length, dtype=np.float64)
+    start, end = window
+    votes[start:end] += window_weight
+
+    if discords.discords:
+        normalized = np.array(
+            [d.distance / np.sqrt(d.length) for d in discords.discords]
+        )
+        strongest = normalized.max()
+        weights = normalized / strongest if strongest > 0 else np.ones_like(normalized)
+        for discord, weight in zip(discords.discords, weights):
+            lo = max(search_offset + discord.index, 0)
+            hi = min(lo + discord.length, test_length)
+            if hi > lo:
+                votes[lo:hi] += weight
+
+    peak = votes.max()
+    if peak > 0:
+        votes = votes / peak
+    return votes
+
+
+def score_votes_weighted(
+    test_length: int,
+    window: tuple[int, int],
+    discords: MerlinResult,
+    search_offset: int,
+    window_weight: float = 1.0,
+    threshold: float | None = None,
+    exception_fraction: float = 0.05,
+) -> VoteResult:
+    """Weighted counterpart of :func:`repro.core.scoring.score_votes`.
+
+    ``threshold`` is on the normalized [0, 1] vote scale; ``None`` uses
+    the mean of nonzero votes (the paper's rule, on the new scale).
+    The Sec. IV-G discord-fail exception is preserved.
+    """
+    votes = weighted_votes(test_length, window, discords, search_offset, window_weight)
+    start, end = window
+
+    discord_only = weighted_votes(test_length, (0, 0), discords, search_offset, 0.0)
+    total_mass = float(discord_only.sum())
+    inside_mass = float(discord_only[start:end].sum())
+    if total_mass > 0 and inside_mass / total_mass < exception_fraction:
+        predictions = np.zeros(test_length, dtype=np.int64)
+        predictions[start:end] = 1
+        return VoteResult(
+            votes=votes,
+            threshold=float("nan"),
+            predictions=predictions,
+            exception_applied=True,
+        )
+
+    if threshold is None:
+        voted = votes[votes > 0]
+        threshold = float(voted.mean()) if voted.size else 0.0
+    predictions = (votes > threshold).astype(np.int64)
+    if not predictions.any():
+        predictions = (votes >= votes.max()).astype(np.int64) if votes.max() > 0 else predictions
+        if not predictions.any():
+            predictions[start:end] = 1
+    return VoteResult(
+        votes=votes,
+        threshold=float(threshold),
+        predictions=predictions,
+        exception_applied=False,
+    )

@@ -1,0 +1,146 @@
+"""Anomaly injectors for the synthetic archive.
+
+Implements the six anomaly types the paper showcases (Fig. 16) plus
+point outliers:
+
+- ``noise``        unexpected high-frequency fluctuations
+- ``duration``     unexpected extension of stable behavior (a plateau)
+- ``seasonal``     abrupt doubling of the inherent seasonality
+- ``trend``        unanticipated local rise
+- ``level_shift``  lasting jump or drop
+- ``contextual``   normal sequence subtly distorted in shape
+- ``point``        isolated extreme spikes
+
+Every injector takes the full series and modifies ``[start, start+length)``
+in a copy; magnitudes are scaled by the local signal deviation so the
+events stay non-trivial (the UCR archive deliberately avoids 'one-liner'
+anomalies a random threshold could find).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ANOMALY_INJECTORS", "inject_anomaly", "list_anomaly_types"]
+
+Injector = Callable[[np.ndarray, int, int, int, np.random.Generator], np.ndarray]
+
+
+def _segment_scale(series: np.ndarray, start: int, length: int) -> float:
+    """Local amplitude scale used to size the injected disturbance."""
+    lo = max(start - 3 * length, 0)
+    hi = min(start + 4 * length, len(series))
+    scale = float(np.std(series[lo:hi]))
+    return max(scale, 1e-3)
+
+
+def _noise(series, start, length, period, rng):
+    out = series.copy()
+    scale = _segment_scale(series, start, length)
+    out[start : start + length] += rng.standard_normal(length) * scale * 0.7
+    return out
+
+
+def _duration(series, start, length, period, rng):
+    out = series.copy()
+    # Hold the level reached at the segment start: stable behavior that
+    # lasts longer than it should.
+    level = float(np.mean(series[max(start - period // 4, 0) : start + 1]))
+    jitter = 0.02 * _segment_scale(series, start, length)
+    out[start : start + length] = level + rng.standard_normal(length) * jitter
+    return out
+
+
+def _seasonal(series, start, length, period, rng):
+    out = series.copy()
+    # Double the local frequency by reading the segment at twice the
+    # speed; wrap to keep continuity within the segment.
+    segment = series[start : start + length]
+    idx = (2 * np.arange(length)) % max(length, 1)
+    out[start : start + length] = segment[idx]
+    return out
+
+
+def _trend(series, start, length, period, rng):
+    out = series.copy()
+    scale = _segment_scale(series, start, length)
+    direction = rng.choice([-1.0, 1.0])
+    ramp = np.linspace(0.0, direction * scale * 1.2, length)
+    out[start : start + length] += ramp
+    return out
+
+
+def _level_shift(series, start, length, period, rng):
+    out = series.copy()
+    scale = _segment_scale(series, start, length)
+    direction = rng.choice([-1.0, 1.0])
+    out[start : start + length] += direction * scale * 0.6
+    return out
+
+
+def _contextual(series, start, length, period, rng):
+    out = series.copy()
+    # Subtle shape distortion: smooth away fine structure (e.g. the
+    # secondary ECG peak in the paper's "025" case study) while keeping
+    # the coarse waveform, amplitude, and level intact.
+    segment = series[start : start + length]
+    width = max(period // 6, 3)
+    kernel = np.ones(width) / width
+    padded = np.pad(segment, (width, width), mode="reflect")
+    smoothed = np.convolve(padded, kernel, mode="same")[width:-width]
+    out[start : start + length] = smoothed
+    return out
+
+
+def _point(series, start, length, period, rng):
+    out = series.copy()
+    scale = _segment_scale(series, start, length)
+    count = max(1, min(length, 3))
+    positions = start + rng.choice(length, size=count, replace=False)
+    out[positions] += rng.choice([-1.0, 1.0], size=count) * scale * 5.0
+    return out
+
+
+ANOMALY_INJECTORS: dict[str, Injector] = {
+    "noise": _noise,
+    "duration": _duration,
+    "seasonal": _seasonal,
+    "trend": _trend,
+    "level_shift": _level_shift,
+    "contextual": _contextual,
+    "point": _point,
+}
+
+
+def list_anomaly_types() -> list[str]:
+    """Names of all available anomaly injectors."""
+    return sorted(ANOMALY_INJECTORS)
+
+
+def inject_anomaly(
+    series: np.ndarray,
+    anomaly_type: str,
+    start: int,
+    length: int,
+    period: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Return a copy of ``series`` with the named anomaly injected.
+
+    Raises
+    ------
+    KeyError
+        For unknown ``anomaly_type``.
+    ValueError
+        If the segment does not fit inside the series.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if start < 0 or start + length > len(series):
+        raise ValueError("anomaly segment out of range")
+    if anomaly_type not in ANOMALY_INJECTORS:
+        raise KeyError(
+            f"unknown anomaly type {anomaly_type!r}; choose from {list_anomaly_types()}"
+        )
+    return ANOMALY_INJECTORS[anomaly_type](series, start, length, period, rng)

@@ -1,0 +1,123 @@
+"""Synthetic UCR-style anomaly archive.
+
+Stands in for the UCR Time Series Anomaly Archive (Wu & Keogh, TKDE
+2023) in this offline reproduction.  Preserved properties:
+
+- each dataset is a univariate periodic series split into an
+  anomaly-free training prefix and a test split;
+- the test split hides exactly one anomalous event;
+- anomaly lengths vary over a wide, right-skewed range (paper Fig. 6
+  spans 1–1700; here the range scales with our shorter series);
+- signal families and anomaly types are diverse, and events are
+  deliberately non-trivial (no 'one-liner' outliers except the explicit
+  ``point`` type).
+
+See DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .anomalies import inject_anomaly, list_anomaly_types
+from .generators import generate_base, list_families
+from .spec import Dataset, DatasetSpec
+
+__all__ = ["make_dataset", "make_archive", "anomaly_length_distribution"]
+
+
+def make_dataset(spec: DatasetSpec) -> Dataset:
+    """Realize a :class:`DatasetSpec` into train/test arrays with labels.
+
+    A single continuous base series covers both splits, so the test
+    split's normal regions match the training distribution exactly; the
+    anomaly is then injected into the test portion alone.
+    """
+    rng = np.random.default_rng(spec.seed)
+    total = spec.train_length + spec.test_length
+    base = generate_base(spec.family, total, spec.period, rng, spec.noise_level)
+    train = base[: spec.train_length]
+    test_clean = base[spec.train_length :]
+
+    test = inject_anomaly(
+        test_clean,
+        spec.anomaly_type,
+        spec.anomaly_start,
+        spec.anomaly_length,
+        spec.period,
+        rng,
+    )
+    labels = np.zeros(spec.test_length, dtype=np.int64)
+    labels[spec.anomaly_start : spec.anomaly_start + spec.anomaly_length] = 1
+    return Dataset(name=spec.name, train=train, test=test, labels=labels, spec=spec)
+
+
+def _sample_anomaly_length(rng: np.random.Generator, period: int, max_length: int) -> int:
+    """Right-skewed length draw echoing the archive's Fig. 6 distribution.
+
+    Most events span a fraction of a period up to a couple of periods;
+    a long tail reaches several periods.
+    """
+    draw = rng.lognormal(mean=np.log(period * 0.6), sigma=1.0)
+    return int(np.clip(round(draw), 4, max_length))
+
+
+def make_archive(
+    size: int = 25,
+    seed: int = 7,
+    train_length: int = 2000,
+    test_length: int = 2500,
+    families: list[str] | None = None,
+    anomaly_types: list[str] | None = None,
+) -> list[Dataset]:
+    """Build a reproducible archive of ``size`` datasets.
+
+    Families and anomaly types cycle round-robin with per-dataset random
+    periods and anomaly placement, so every (family, type) combination
+    appears as the archive grows.
+    """
+    families = families or list_families()
+    anomaly_types = anomaly_types or [t for t in list_anomaly_types() if t != "point"]
+    master = np.random.default_rng(seed)
+    datasets = []
+    for index in range(size):
+        family = families[index % len(families)]
+        anomaly_type = anomaly_types[index % len(anomaly_types)]
+        period = int(master.integers(24, 80))
+        max_length = min(test_length // 4, 6 * period)
+        anomaly_length = _sample_anomaly_length(master, period, max_length)
+        margin = max(2 * period, 50)
+        latest = test_length - anomaly_length - margin
+        anomaly_start = int(master.integers(margin, max(latest, margin + 1)))
+        spec = DatasetSpec(
+            name=f"{index + 1:03d}_{family}_{anomaly_type}",
+            family=family,
+            period=period,
+            train_length=train_length,
+            test_length=test_length,
+            anomaly_type=anomaly_type,
+            anomaly_start=anomaly_start,
+            anomaly_length=anomaly_length,
+            noise_level=float(master.uniform(0.03, 0.08)),
+            seed=int(master.integers(0, 2**31 - 1)),
+        )
+        datasets.append(make_dataset(spec))
+    return datasets
+
+
+def anomaly_length_distribution(datasets: list[Dataset]) -> dict[str, float]:
+    """Histogram of anomaly lengths, bucketed as in the paper's Fig. 6.
+
+    Returns the fraction of datasets per bucket.
+    """
+    buckets = [(0, 16), (16, 64), (64, 128), (128, 256), (256, 512), (512, 1 << 30)]
+    names = ["<16", "16-63", "64-127", "128-255", "256-511", ">=512"]
+    counts = np.zeros(len(buckets))
+    for dataset in datasets:
+        length = dataset.anomaly_length
+        for i, (lo, hi) in enumerate(buckets):
+            if lo <= length < hi:
+                counts[i] += 1
+                break
+    total = max(len(datasets), 1)
+    return {name: float(count) / total for name, count in zip(names, counts)}

@@ -1,0 +1,87 @@
+"""Yahoo/NASA-style benchmark simulators with their documented flaws.
+
+The paper (Sec. II-B, citing Wu & Keogh) criticizes legacy TSAD
+benchmarks for triviality, unrealistic anomaly density, and mislabeled
+ground truth.  These generators reproduce each pathology on demand so
+the evaluation-pitfall experiments can quantify them:
+
+- :func:`make_yahoo_dataset` — web-telemetry with *many* short explicit
+  spikes (unrealistic density + one-liner triviality);
+- :func:`make_nasa_dataset` — spacecraft-like piecewise command regimes
+  with one labeled regime anomaly, and an optional ``label_offset`` that
+  shifts the ground-truth labels off the true event (mislabeling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .spec import Dataset
+
+__all__ = ["make_yahoo_dataset", "make_nasa_dataset"]
+
+
+def make_yahoo_dataset(
+    length: int = 4000,
+    train_fraction: float = 0.4,
+    events: int = 12,
+    seed: int = 0,
+) -> Dataset:
+    """Yahoo-S5-style stream: seasonal web traffic with dense spike labels.
+
+    Anomaly density here is far above anything realistic (the paper's
+    'unrealistic densities' critique): ``events`` spikes in the test
+    half, each 1-3 points, all amplitude-explicit.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.arange(length, dtype=np.float64)
+    daily = np.sin(2 * np.pi * t / 144)
+    trend = 0.0003 * t
+    noise = 0.12 * rng.standard_normal(length)
+    series = daily + trend + noise
+
+    split = int(length * train_fraction)
+    test = series[split:].copy()
+    labels = np.zeros(len(test), dtype=np.int64)
+    for _ in range(events):
+        width = int(rng.integers(1, 4))
+        start = int(rng.integers(0, len(test) - width))
+        test[start : start + width] += rng.choice([-1.0, 1.0]) * rng.uniform(5.0, 8.0)
+        labels[start : start + width] = 1
+    return Dataset(name="synthetic-Yahoo", train=series[:split], test=test, labels=labels)
+
+
+def make_nasa_dataset(
+    length: int = 5000,
+    train_fraction: float = 0.5,
+    label_offset: int = 0,
+    seed: int = 0,
+) -> Dataset:
+    """NASA-MSL/SMAP-style telemetry: piecewise command regimes.
+
+    The test half contains one true anomaly — an off-nominal regime with
+    a drifting level.  ``label_offset`` shifts the *labels* relative to
+    the true event, reproducing the archive's mislabeled-ground-truth
+    pathology; downstream metrics then punish detectors for being right.
+    """
+    rng = np.random.default_rng(seed)
+    # Piecewise-constant command levels with dwell times.
+    levels = rng.uniform(-1.0, 1.0, size=length // 200 + 2)
+    series = np.repeat(levels, 200)[:length]
+    series += 0.05 * rng.standard_normal(length)
+
+    split = int(length * train_fraction)
+    test = series[split:].copy()
+    labels = np.zeros(len(test), dtype=np.int64)
+
+    # The true anomaly: an unprecedented drifting ramp regime.  The
+    # event placement must not depend on label_offset, so that datasets
+    # differing only in labels share identical data.
+    width = 150
+    start = int(rng.integers(len(test) // 4, len(test) - width - 1))
+    test[start : start + width] = (
+        test[start] + np.linspace(0.0, 2.5, width) + 0.05 * rng.standard_normal(width)
+    )
+    label_start = int(np.clip(start + label_offset, 0, len(test) - width))
+    labels[label_start : label_start + width] = 1
+    return Dataset(name="synthetic-NASA", train=series[:split], test=test, labels=labels)

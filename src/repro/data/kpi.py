@@ -1,0 +1,99 @@
+"""Synthetic KPI / SWaT-style streams with explicit 'one-liner' anomalies.
+
+Section II-B of the paper shows that on KPI and SWaT a *randomly
+initialized* LSTM-AE can beat its trained counterpart under honest
+metrics, because those benchmarks contain anomalies so explicit that a
+random threshold finds them (Fig. 3).  These generators reproduce that
+pathology: smooth, weakly periodic operational telemetry punctured by
+multiple extreme spikes/drops and saturation plateaus, with unrealistic
+anomaly density relative to the UCR archive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .spec import Dataset
+
+__all__ = ["make_kpi_dataset", "make_swat_dataset"]
+
+
+def _telemetry(length: int, rng: np.random.Generator, period: int) -> np.ndarray:
+    """Slowly drifting seasonal telemetry base signal."""
+    t = np.arange(length, dtype=np.float64)
+    daily = np.sin(2 * np.pi * t / period)
+    weekly = 0.4 * np.sin(2 * np.pi * t / (period * 7) + 1.3)
+    drift = np.cumsum(rng.standard_normal(length)) * 0.002
+    noise = 0.08 * rng.standard_normal(length)
+    return daily + weekly + drift + noise
+
+
+def _spike_events(
+    series: np.ndarray,
+    labels: np.ndarray,
+    rng: np.random.Generator,
+    count: int,
+    magnitude: float,
+    max_width: int,
+) -> None:
+    """Inject obvious spike/drop events in-place and mark their labels."""
+    length = len(series)
+    for _ in range(count):
+        width = int(rng.integers(1, max_width + 1))
+        start = int(rng.integers(0, length - width))
+        direction = rng.choice([-1.0, 1.0])
+        series[start : start + width] += direction * magnitude * (
+            1.0 + 0.3 * rng.standard_normal(width)
+        )
+        labels[start : start + width] = 1
+
+
+def make_kpi_dataset(
+    length: int = 6000,
+    train_fraction: float = 0.5,
+    events: int = 8,
+    seed: int = 0,
+) -> Dataset:
+    """KPI-style stream: telemetry with several extreme short spikes.
+
+    Unlike UCR datasets, events also occur only in the test half (the
+    train half stays clean so training-based detectors are not poisoned),
+    but their density is unrealistically high and every one of them is a
+    'one-liner' outlier.
+    """
+    rng = np.random.default_rng(seed)
+    series = _telemetry(length, rng, period=288)  # 5-min samples, daily season
+    split = int(length * train_fraction)
+    labels = np.zeros(length, dtype=np.int64)
+    test = series[split:].copy()
+    test_labels = labels[split:].copy()
+    _spike_events(test, test_labels, rng, count=events, magnitude=6.0, max_width=5)
+    return Dataset(name="synthetic-KPI", train=series[:split], test=test, labels=test_labels)
+
+
+def make_swat_dataset(
+    length: int = 8000,
+    train_fraction: float = 0.5,
+    events: int = 5,
+    seed: int = 1,
+) -> Dataset:
+    """SWaT-style stream: plant actuator cycles with long saturation faults.
+
+    SWaT anomalies are long attack windows where sensors pin to extreme
+    values — trivially separable by amplitude, hence the paper's finding
+    that PA-based scores there are uninformative.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.arange(length, dtype=np.float64)
+    cycle = np.tanh(4.0 * np.sin(2 * np.pi * t / 400))  # valve-like square cycles
+    level = 0.3 * np.sin(2 * np.pi * t / 2400)
+    series = cycle + level + 0.05 * rng.standard_normal(length)
+    split = int(length * train_fraction)
+    test = series[split:].copy()
+    test_labels = np.zeros(len(test), dtype=np.int64)
+    for _ in range(events):
+        width = int(rng.integers(60, 240))
+        start = int(rng.integers(0, len(test) - width))
+        test[start : start + width] = 4.0 + 0.1 * rng.standard_normal(width)
+        test_labels[start : start + width] = 1
+    return Dataset(name="synthetic-SWaT", train=series[:split], test=test, labels=test_labels)

@@ -1,0 +1,86 @@
+"""Dataset containers shared by the synthetic archive and the real UCR loader."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DatasetSpec", "Dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Blueprint for one synthetic UCR-style dataset.
+
+    Mirrors the UCR Anomaly Archive contract: an anomaly-free training
+    prefix, and a test split hiding exactly one anomalous event.
+    """
+
+    name: str
+    family: str
+    period: int
+    train_length: int
+    test_length: int
+    anomaly_type: str
+    anomaly_start: int
+    anomaly_length: int
+    noise_level: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.anomaly_start < 0 or self.anomaly_length < 1:
+            raise ValueError("anomaly must have non-negative start and length >= 1")
+        if self.anomaly_start + self.anomaly_length > self.test_length:
+            raise ValueError("anomaly exceeds the test split")
+        if self.period < 2:
+            raise ValueError("period must be at least 2")
+
+
+@dataclass
+class Dataset:
+    """A realized dataset: train split, test split, point-wise labels.
+
+    ``labels`` is a ``(test_length,)`` array of {0, 1} marking the single
+    anomalous event (or several events for the KPI/SWaT-style streams).
+    """
+
+    name: str
+    train: np.ndarray
+    test: np.ndarray
+    labels: np.ndarray
+    spec: DatasetSpec | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.train = np.asarray(self.train, dtype=np.float64)
+        self.test = np.asarray(self.test, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if len(self.labels) != len(self.test):
+            raise ValueError("labels must align with the test split")
+
+    @property
+    def anomaly_interval(self) -> tuple[int, int]:
+        """Half-open ``[start, end)`` of the first labeled event."""
+        positions = np.flatnonzero(self.labels)
+        if len(positions) == 0:
+            raise ValueError(f"dataset {self.name!r} has no labeled anomaly")
+        start = int(positions[0])
+        # Find the end of the first contiguous run.
+        breaks = np.flatnonzero(np.diff(positions) > 1)
+        end = int(positions[breaks[0]] + 1) if len(breaks) else int(positions[-1] + 1)
+        return start, end
+
+    @property
+    def anomaly_length(self) -> int:
+        start, end = self.anomaly_interval
+        return end - start
+
+    def events(self) -> list[tuple[int, int]]:
+        """All labeled events as half-open intervals."""
+        positions = np.flatnonzero(self.labels)
+        if len(positions) == 0:
+            return []
+        splits = np.flatnonzero(np.diff(positions) > 1)
+        starts = np.concatenate([[positions[0]], positions[splits + 1]])
+        ends = np.concatenate([positions[splits] + 1, [positions[-1] + 1]])
+        return [(int(s), int(e)) for s, e in zip(starts, ends)]

@@ -1,0 +1,81 @@
+"""Loader for the *real* UCR Time Series Anomaly Archive file format.
+
+Archive files are named::
+
+    <id>_UCR_Anomaly_<name>_<train_end>_<anomaly_start>_<anomaly_end>.txt
+
+and contain one value per line (some variants pack whitespace-separated
+values on a single line; both are handled).  Indices in the file name
+are 1-based positions in the *full* series; the test split starts at
+``train_end``.  This loader lets the whole library run unmodified on the
+genuine archive when it is available on disk.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import numpy as np
+
+from .spec import Dataset
+
+__all__ = ["parse_ucr_filename", "load_ucr_file", "load_ucr_archive"]
+
+_NAME_RE = re.compile(
+    r"^(?P<id>\d+)_UCR_Anomaly_(?P<name>.+?)_(?P<train_end>\d+)"
+    r"_(?P<start>\d+)_(?P<end>\d+)\.txt$"
+)
+
+
+def parse_ucr_filename(filename: str) -> dict[str, int | str]:
+    """Extract metadata from a UCR archive file name.
+
+    Returns a dict with ``id``, ``name``, ``train_end``, ``start``,
+    ``end`` (all indices 1-based, as in the archive).
+    """
+    match = _NAME_RE.match(os.path.basename(filename))
+    if match is None:
+        raise ValueError(f"not a UCR anomaly archive file name: {filename!r}")
+    groups = match.groupdict()
+    return {
+        "id": int(groups["id"]),
+        "name": groups["name"],
+        "train_end": int(groups["train_end"]),
+        "start": int(groups["start"]),
+        "end": int(groups["end"]),
+    }
+
+
+def load_ucr_file(path: str | os.PathLike) -> Dataset:
+    """Load one UCR archive file into a :class:`Dataset`.
+
+    The 1-based inclusive anomaly interval from the file name is
+    converted into 0-based point-wise labels over the test split.
+    """
+    meta = parse_ucr_filename(str(path))
+    values = np.loadtxt(path).ravel().astype(np.float64)
+    train_end = int(meta["train_end"])
+    if not 0 < train_end < len(values):
+        raise ValueError(f"train_end {train_end} out of range for {path}")
+    train = values[:train_end]
+    test = values[train_end:]
+    labels = np.zeros(len(test), dtype=np.int64)
+    # Convert 1-based absolute inclusive interval to test-relative slice.
+    start = int(meta["start"]) - 1 - train_end
+    end = int(meta["end"]) - train_end
+    if start < 0 or end > len(test) or start >= end:
+        raise ValueError(f"anomaly interval out of test range in {path}")
+    labels[start:end] = 1
+    return Dataset(name=f"{meta['id']:03d}_{meta['name']}", train=train, test=test, labels=labels)
+
+
+def load_ucr_archive(directory: str | os.PathLike, limit: int | None = None) -> list[Dataset]:
+    """Load every archive file under ``directory`` (sorted by id)."""
+    paths = sorted(
+        p for p in Path(directory).iterdir() if _NAME_RE.match(p.name)
+    )
+    if limit is not None:
+        paths = paths[:limit]
+    return [load_ucr_file(p) for p in paths]

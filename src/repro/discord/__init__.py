@@ -1,0 +1,40 @@
+"""Discord discovery algorithms: brute force, DRAG, MERLIN, MERLIN++,
+and the matrix profile."""
+
+from .brute import Discord, brute_force_discord
+from .distance import (
+    nearest_neighbor_distances,
+    trivial_match_mask,
+    znorm_distance,
+    znorm_subsequences,
+)
+from .damp import DampResult, damp
+from .drag import drag
+from .matrix_profile import MatrixProfile, matrix_profile
+from .motifs import Motif, top_k_motifs
+from .merlin import MerlinResult, merlin
+from .merlinpp import merlinpp
+from .streaming import StreamingDiscordDetector, left_matrix_profile
+from .topk import top_k_discords
+
+__all__ = [
+    "StreamingDiscordDetector",
+    "left_matrix_profile",
+    "top_k_discords",
+    "Motif",
+    "top_k_motifs",
+    "DampResult",
+    "damp",
+    "Discord",
+    "brute_force_discord",
+    "nearest_neighbor_distances",
+    "trivial_match_mask",
+    "znorm_distance",
+    "znorm_subsequences",
+    "drag",
+    "MatrixProfile",
+    "matrix_profile",
+    "MerlinResult",
+    "merlin",
+    "merlinpp",
+]

@@ -1,0 +1,44 @@
+"""Brute-force discord discovery — the exact O(N^2) reference.
+
+A *discord* is the subsequence whose distance to its nearest non-trivial
+neighbor is largest.  This module computes it directly from the full
+nearest-neighbor profile; DRAG and MERLIN must agree with it (asserted
+in the test suite) while doing less work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distance import nearest_neighbor_distances
+
+__all__ = ["Discord", "brute_force_discord"]
+
+
+@dataclass(frozen=True)
+class Discord:
+    """A discovered discord: subsequence start, length, and NN distance."""
+
+    index: int
+    length: int
+    distance: float
+
+    @property
+    def interval(self) -> tuple[int, int]:
+        """Half-open ``[start, end)`` span of the discord subsequence."""
+        return self.index, self.index + self.length
+
+
+def brute_force_discord(
+    series: np.ndarray, length: int, exclusion: int | None = None
+) -> Discord:
+    """Find the top-1 discord of ``series`` at ``length`` exhaustively."""
+    profile = nearest_neighbor_distances(series, length, exclusion=exclusion)
+    finite = np.isfinite(profile)
+    if not finite.any():
+        raise ValueError("series too short for any non-trivial neighbor")
+    profile = np.where(finite, profile, -np.inf)
+    index = int(np.argmax(profile))
+    return Discord(index=index, length=length, distance=float(profile[index]))

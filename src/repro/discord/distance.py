@@ -1,0 +1,91 @@
+"""Distance kernels for discord discovery.
+
+All discord algorithms in this package operate on z-normalized Euclidean
+distance between subsequences, the convention of the matrix-profile /
+MERLIN literature.  For z-normalized vectors of length ``l`` the squared
+distance reduces to ``2l - 2 * dot``, which lets nearest-neighbor scans
+run as matrix products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "znorm_subsequences",
+    "znorm_distance",
+    "nearest_neighbor_distances",
+    "trivial_match_mask",
+]
+
+_EPS = 1e-8
+
+
+def znorm_subsequences(series: np.ndarray, length: int) -> np.ndarray:
+    """All z-normalized subsequences of ``series`` with the given length.
+
+    Returns an array of shape ``(len(series) - length + 1, length)``.
+    Constant subsequences map to zero vectors (distance to anything
+    z-normalized is then ``sqrt(2l)``, a sane 'featureless' placement).
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if length > len(series):
+        raise ValueError("subsequence length exceeds series length")
+    subs = np.lib.stride_tricks.sliding_window_view(series, length)
+    mean = subs.mean(axis=1, keepdims=True)
+    std = subs.std(axis=1, keepdims=True)
+    return (subs - mean) / np.maximum(std, _EPS)
+
+
+def znorm_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """z-normalized Euclidean distance between two equal-length vectors."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    za = (a - a.mean()) / max(a.std(), _EPS)
+    zb = (b - b.mean()) / max(b.std(), _EPS)
+    return float(np.linalg.norm(za - zb))
+
+
+def trivial_match_mask(count: int, exclusion: int) -> np.ndarray:
+    """Boolean ``(count, count)`` mask of self/trivial matches to ignore.
+
+    Overlapping subsequences trivially match; the standard exclusion zone
+    bans pairs closer than ``exclusion`` positions apart.
+    """
+    idx = np.arange(count)
+    return np.abs(idx[:, None] - idx[None, :]) < exclusion
+
+
+def nearest_neighbor_distances(
+    series: np.ndarray,
+    length: int,
+    exclusion: int | None = None,
+    chunk: int = 512,
+) -> np.ndarray:
+    """Exact nearest-non-trivial-neighbor distance for every subsequence.
+
+    This is the matrix profile of ``series`` at the given length,
+    computed in chunks so memory stays ``O(chunk * count)``.
+
+    Parameters
+    ----------
+    exclusion:
+        Half-width of the trivial-match zone; defaults to ``length // 2``
+        (the common matrix-profile convention).
+    """
+    z = znorm_subsequences(series, length)
+    count = len(z)
+    if exclusion is None:
+        exclusion = max(length // 2, 1)
+    norms = (z**2).sum(axis=1)
+    result = np.empty(count)
+    for start in range(0, count, chunk):
+        stop = min(start + chunk, count)
+        # Squared distances via the dot-product identity.
+        dots = z[start:stop] @ z.T
+        sq = norms[start:stop, None] + norms[None, :] - 2.0 * dots
+        rows = np.arange(start, stop)
+        band = np.abs(rows[:, None] - np.arange(count)[None, :]) < exclusion
+        sq[band] = np.inf
+        result[start:stop] = np.sqrt(np.maximum(sq.min(axis=1), 0.0))
+    return result

@@ -1,0 +1,86 @@
+"""DRAG — Discord Range-Aware Gathering (Yankov, Keogh & Rebbapragada,
+KAIS 2008).
+
+Two-phase discord search with a range threshold ``r``:
+
+1. *Candidate gathering*: scan subsequences once, keeping a set of
+   candidates that have no non-trivial neighbor within ``r`` so far.
+   A subsequence landing within ``r`` of a candidate eliminates both
+   itself and that candidate from discord contention.
+2. *Refinement*: compute each surviving candidate's true nearest-neighbor
+   distance and keep those at distance >= ``r``.
+
+If ``r`` is at most the true discord distance, DRAG provably returns the
+true discord; if ``r`` was chosen too large, it fails (returns ``None``)
+and the caller (MERLIN) retries with a smaller ``r``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .brute import Discord
+from .distance import znorm_subsequences
+
+__all__ = ["drag"]
+
+
+def drag(
+    series: np.ndarray,
+    length: int,
+    r: float,
+    exclusion: int | None = None,
+) -> Discord | None:
+    """Run DRAG at subsequence ``length`` with range threshold ``r``.
+
+    Returns the top discord, or ``None`` when no subsequence has its
+    nearest non-trivial neighbor at distance >= ``r``.
+    """
+    z = znorm_subsequences(series, length)
+    count = len(z)
+    if exclusion is None:
+        exclusion = length
+    if count <= exclusion:
+        return None
+
+    # ------------------------------------------------------------------
+    # Phase 1: candidate gathering.
+    # ------------------------------------------------------------------
+    candidates: list[int] = []
+    candidate_matrix: list[np.ndarray] = []
+    r_sq = r * r
+    for j in range(count):
+        survives = True
+        if candidates:
+            matrix = np.asarray(candidate_matrix)
+            sq = ((matrix - z[j]) ** 2).sum(axis=1)
+            indices = np.asarray(candidates)
+            nontrivial = np.abs(indices - j) >= exclusion
+            hit = nontrivial & (sq < r_sq)
+            if hit.any():
+                survives = False
+                keep = ~hit
+                candidates = [c for c, k in zip(candidates, keep) if k]
+                candidate_matrix = [m for m, k in zip(candidate_matrix, keep) if k]
+        if survives:
+            candidates.append(j)
+            candidate_matrix.append(z[j])
+    if not candidates:
+        return None
+
+    # ------------------------------------------------------------------
+    # Phase 2: refinement — exact NN distance per candidate.
+    # ------------------------------------------------------------------
+    best: Discord | None = None
+    all_indices = np.arange(count)
+    for c in candidates:
+        nontrivial = np.abs(all_indices - c) >= exclusion
+        sq = ((z[nontrivial] - z[c]) ** 2).sum(axis=1)
+        if sq.size == 0:
+            continue
+        nn = float(np.sqrt(max(sq.min(), 0.0)))
+        if nn < r:
+            continue  # had a neighbor inside the range after all
+        if best is None or nn > best.distance:
+            best = Discord(index=int(c), length=length, distance=nn)
+    return best

@@ -1,0 +1,64 @@
+"""Matrix profile (nearest-neighbor distance profile) for time series.
+
+Related discord machinery the paper cites ([27], [28]): the profile's
+maximum is the top discord, its minimum a motif.  Computed exactly with
+chunked matrix products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .distance import znorm_subsequences
+
+__all__ = ["MatrixProfile", "matrix_profile"]
+
+
+@dataclass(frozen=True)
+class MatrixProfile:
+    """Distance profile and nearest-neighbor index per subsequence."""
+
+    profile: np.ndarray
+    indices: np.ndarray
+    length: int
+
+    def discord_index(self) -> int:
+        """Start of the top discord (largest NN distance)."""
+        finite = np.where(np.isfinite(self.profile), self.profile, -np.inf)
+        return int(np.argmax(finite))
+
+    def motif_pair(self) -> tuple[int, int]:
+        """Start indices of the closest non-trivial pair."""
+        finite = np.where(np.isfinite(self.profile), self.profile, np.inf)
+        i = int(np.argmin(finite))
+        return i, int(self.indices[i])
+
+
+def matrix_profile(
+    series: np.ndarray,
+    length: int,
+    exclusion: int | None = None,
+    chunk: int = 512,
+) -> MatrixProfile:
+    """Exact matrix profile of ``series`` at subsequence ``length``."""
+    z = znorm_subsequences(series, length)
+    count = len(z)
+    if exclusion is None:
+        exclusion = max(length // 2, 1)
+    norms = (z**2).sum(axis=1)
+    profile = np.empty(count)
+    indices = np.empty(count, dtype=np.int64)
+    columns = np.arange(count)
+    for start in range(0, count, chunk):
+        stop = min(start + chunk, count)
+        dots = z[start:stop] @ z.T
+        sq = norms[start:stop, None] + norms[None, :] - 2.0 * dots
+        rows = np.arange(start, stop)
+        band = np.abs(rows[:, None] - columns[None, :]) < exclusion
+        sq[band] = np.inf
+        nearest = sq.argmin(axis=1)
+        indices[start:stop] = nearest
+        profile[start:stop] = np.sqrt(np.maximum(sq[np.arange(stop - start), nearest], 0.0))
+    return MatrixProfile(profile=profile, indices=indices, length=length)

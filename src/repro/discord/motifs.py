@@ -1,0 +1,80 @@
+"""Motif discovery — the discord's dual.
+
+The matrix profile's *minima* are motifs: subsequence pairs that repeat
+almost exactly.  TriAD does not use motifs directly, but the machinery
+is a two-line extension of the discord substrate and completes the
+matrix-profile toolbox the paper's related work ([27], [28]) builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .matrix_profile import matrix_profile
+
+__all__ = ["Motif", "top_k_motifs"]
+
+
+@dataclass(frozen=True)
+class Motif:
+    """A repeating pattern: the two closest occurrences and their distance."""
+
+    first: int
+    second: int
+    length: int
+    distance: float
+
+    @property
+    def intervals(self) -> tuple[tuple[int, int], tuple[int, int]]:
+        return (
+            (self.first, self.first + self.length),
+            (self.second, self.second + self.length),
+        )
+
+
+def top_k_motifs(
+    series: np.ndarray,
+    length: int,
+    k: int = 1,
+    exclusion: int | None = None,
+) -> list[Motif]:
+    """The ``k`` best (closest-pair) motifs, mutually non-overlapping.
+
+    After each motif is taken, candidates overlapping either of its
+    occurrences are suppressed so distinct patterns are returned.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if exclusion is None:
+        exclusion = max(length // 2, 1)
+    mp = matrix_profile(series, length, exclusion=exclusion)
+    scores = np.where(np.isfinite(mp.profile), mp.profile, np.inf)
+    suppressed = np.zeros(len(scores), dtype=bool)
+
+    motifs: list[Motif] = []
+    while len(motifs) < k:
+        index = int(np.argmin(scores))
+        if not np.isfinite(scores[index]):
+            break
+        partner = int(mp.indices[index])
+        if suppressed[partner]:
+            # The stored nearest neighbor overlaps an earlier motif;
+            # this candidate cannot form a new non-overlapping pair.
+            scores[index] = np.inf
+            continue
+        motifs.append(
+            Motif(
+                first=min(index, partner),
+                second=max(index, partner),
+                length=length,
+                distance=float(mp.profile[index]),
+            )
+        )
+        for occurrence in (index, partner):
+            lo = max(occurrence - length + 1, 0)
+            hi = min(occurrence + length, len(scores))
+            scores[lo:hi] = np.inf
+            suppressed[lo:hi] = True
+    return motifs

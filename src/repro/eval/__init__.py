@@ -1,0 +1,43 @@
+"""Evaluation harness: archive runner, table rendering, experiment registry."""
+
+from .experiments import BENCH_SEEDS, EXPERIMENTS, Experiment, bench_archive, bench_config
+from .persistence import load_results, per_type_breakdown, save_results
+from .reporting import build_report, write_report
+from .runner import (
+    METRIC_NAMES,
+    SCORE_METRIC_NAMES,
+    AggregateScores,
+    DatasetScores,
+    evaluate_predictions,
+    evaluate_scores,
+    run_on_archive,
+    run_scores_on_archive,
+)
+from .tables import render_table
+from .tuning import GridSearchResult, SweepPoint, grid_search, tri_window_accuracy
+
+__all__ = [
+    "BENCH_SEEDS",
+    "EXPERIMENTS",
+    "Experiment",
+    "bench_archive",
+    "bench_config",
+    "METRIC_NAMES",
+    "SCORE_METRIC_NAMES",
+    "AggregateScores",
+    "DatasetScores",
+    "evaluate_predictions",
+    "evaluate_scores",
+    "run_on_archive",
+    "run_scores_on_archive",
+    "render_table",
+    "load_results",
+    "per_type_breakdown",
+    "save_results",
+    "GridSearchResult",
+    "SweepPoint",
+    "grid_search",
+    "tri_window_accuracy",
+    "build_report",
+    "write_report",
+]

@@ -1,0 +1,79 @@
+"""Persist and reload evaluation results as JSON.
+
+Lets the benchmark harness accumulate results across runs and lets
+users diff detector leaderboards between code versions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+
+from .runner import AggregateScores, DatasetScores
+
+__all__ = ["save_results", "load_results", "per_type_breakdown"]
+
+
+def save_results(aggregates: list[AggregateScores], path: str | os.PathLike) -> None:
+    """Write a list of aggregate results to a JSON file."""
+    payload = [
+        {
+            "detector": agg.detector,
+            "mean": agg.mean,
+            "std": agg.std,
+            "per_run": [asdict(run) for run in agg.per_run],
+        }
+        for agg in aggregates
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_results(path: str | os.PathLike) -> list[AggregateScores]:
+    """Reload results saved with :func:`save_results`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    aggregates = []
+    for entry in payload:
+        aggregates.append(
+            AggregateScores(
+                detector=entry["detector"],
+                mean=entry["mean"],
+                std=entry["std"],
+                per_run=[DatasetScores(**run) for run in entry["per_run"]],
+            )
+        )
+    return aggregates
+
+
+def per_type_breakdown(
+    aggregate: AggregateScores, metric: str = "pak_f1_auc"
+) -> dict[str, float]:
+    """Average a metric per anomaly type, inferred from dataset names.
+
+    Synthetic archive names end in ``_<type>`` (e.g.
+    ``003_harmonics_level_shift``); datasets whose type cannot be
+    inferred are grouped under ``"unknown"``.
+    """
+    from collections import defaultdict
+
+    known_types = {
+        "noise",
+        "duration",
+        "seasonal",
+        "trend",
+        "level_shift",
+        "contextual",
+        "point",
+    }
+    buckets: dict[str, list[float]] = defaultdict(list)
+    for run in aggregate.per_run:
+        name = run.dataset
+        matched = "unknown"
+        for anomaly_type in known_types:
+            if name.endswith(anomaly_type):
+                matched = anomaly_type
+                break
+        buckets[matched].append(run.metrics[metric])
+    return {key: float(sum(v) / len(v)) for key, v in sorted(buckets.items())}

@@ -1,0 +1,89 @@
+"""Markdown report generation from benchmark artifacts.
+
+``pytest benchmarks/ --benchmark-only`` writes one rendered table per
+paper artifact into ``benchmarks/results/``; this module stitches them
+into a single markdown report (the mechanically-generated companion of
+the hand-written EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from .experiments import EXPERIMENTS
+
+__all__ = ["build_report", "write_report"]
+
+# Result-file stem -> experiment id (a bench may emit several artifacts).
+_ARTIFACT_EXPERIMENTS = {
+    "table2_pa_inflation": "table2",
+    "table3_overall": "table3",
+    "table4_merlin": "table4",
+    "fig1_augmentation": "fig1",
+    "fig2_lstmae_recon": "fig2",
+    "fig6_length_dist": "fig6",
+    "fig7_search_ratio": "fig7",
+    "fig8_params": "fig8",
+    "fig9_ablation": "fig9",
+    "fig11_similarity": "fig10_13",
+    "fig12_merlin": "fig10_13",
+    "fig13_thresholds": "fig10_13",
+    "fig15_discord_fail": "fig15",
+    "fig16_diversity": "fig16",
+}
+
+
+def build_report(results_dir: str | os.PathLike) -> str:
+    """Assemble a markdown report from every ``*.txt`` artifact found.
+
+    Artifacts are grouped under their paper experiment (ordered as in
+    the registry); unknown artifacts are appended under "Additional
+    results".
+    """
+    results_dir = Path(results_dir)
+    artifacts = {path.stem: path for path in sorted(results_dir.glob("*.txt"))}
+    if not artifacts:
+        raise FileNotFoundError(
+            f"no benchmark artifacts in {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+
+    sections: list[str] = ["# Benchmark results", ""]
+    used: set[str] = set()
+    for experiment in EXPERIMENTS.values():
+        stems = [
+            stem
+            for stem, exp_id in _ARTIFACT_EXPERIMENTS.items()
+            if exp_id == experiment.id and stem in artifacts
+        ]
+        if not stems:
+            continue
+        sections.append(f"## {experiment.paper_artifact} — {experiment.description}")
+        sections.append("")
+        for stem in stems:
+            sections.append("```")
+            sections.append(artifacts[stem].read_text().rstrip())
+            sections.append("```")
+            sections.append("")
+            used.add(stem)
+
+    extras = [stem for stem in artifacts if stem not in used]
+    if extras:
+        sections.append("## Additional results")
+        sections.append("")
+        for stem in extras:
+            sections.append("```")
+            sections.append(artifacts[stem].read_text().rstrip())
+            sections.append("```")
+            sections.append("")
+    return "\n".join(sections)
+
+
+def write_report(
+    results_dir: str | os.PathLike, output_path: str | os.PathLike
+) -> Path:
+    """Write :func:`build_report` output to ``output_path``."""
+    output_path = Path(output_path)
+    output_path.write_text(build_report(results_dir))
+    return output_path

@@ -1,0 +1,203 @@
+"""Archive evaluation harness.
+
+Runs any detector exposing ``fit(train)`` / ``predict(test)`` across an
+archive of datasets and multiple seeds, scores every prediction with
+the full metric suite (F1-PW, F1-PA, PA%K AUCs, affiliation), and
+aggregates to mean +/- std across seeds — the protocol behind the
+paper's Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol
+
+import numpy as np
+
+from ..data.spec import Dataset
+from ..metrics import (
+    affiliation_metrics,
+    average_precision,
+    best_f1_over_thresholds,
+    f1_score,
+    pa_k_auc,
+    point_adjust,
+    roc_auc,
+)
+
+__all__ = [
+    "Detector",
+    "ScoringDetector",
+    "DatasetScores",
+    "AggregateScores",
+    "evaluate_predictions",
+    "evaluate_scores",
+    "run_on_archive",
+    "run_scores_on_archive",
+    "METRIC_NAMES",
+    "SCORE_METRIC_NAMES",
+]
+
+SCORE_METRIC_NAMES = ("roc_auc", "pr_auc", "best_f1")
+
+METRIC_NAMES = (
+    "f1_pw",
+    "f1_pa",
+    "pak_precision_auc",
+    "pak_recall_auc",
+    "pak_f1_auc",
+    "affiliation_precision",
+    "affiliation_recall",
+    "affiliation_f1",
+)
+
+
+class Detector(Protocol):
+    """Anything trainable on a series that emits binary predictions."""
+
+    def fit(self, train_series: np.ndarray) -> "Detector": ...
+
+    def predict(self, test_series: np.ndarray) -> np.ndarray: ...
+
+
+class ScoringDetector(Protocol):
+    """Detectors that also expose continuous anomaly scores."""
+
+    def fit(self, train_series: np.ndarray) -> "ScoringDetector": ...
+
+    def score_series(self, test_series: np.ndarray) -> np.ndarray: ...
+
+
+@dataclass
+class DatasetScores:
+    """All metrics for one (dataset, seed) run."""
+
+    dataset: str
+    seed: int
+    metrics: dict[str, float]
+
+
+@dataclass
+class AggregateScores:
+    """Mean and std (across seeds) of per-metric archive averages."""
+
+    detector: str
+    mean: dict[str, float]
+    std: dict[str, float]
+    per_run: list[DatasetScores] = field(default_factory=list)
+
+    def row(self, metrics: Iterable[str] = METRIC_NAMES) -> list[str]:
+        """Formatted ``mean+/-std`` cells for table rendering."""
+        cells = [self.detector]
+        for name in metrics:
+            cells.append(f"{self.mean[name]:.3f}±{self.std[name]:.3f}")
+        return cells
+
+
+def evaluate_predictions(predictions: np.ndarray, labels: np.ndarray) -> dict[str, float]:
+    """Score one prediction array with every paper metric."""
+    curve = pa_k_auc(predictions, labels)
+    affiliation = affiliation_metrics(predictions, labels)
+    return {
+        "f1_pw": f1_score(predictions, labels),
+        "f1_pa": f1_score(point_adjust(predictions, labels), labels),
+        "pak_precision_auc": curve.precision_auc,
+        "pak_recall_auc": curve.recall_auc,
+        "pak_f1_auc": curve.f1_auc,
+        "affiliation_precision": affiliation.precision,
+        "affiliation_recall": affiliation.recall,
+        "affiliation_f1": affiliation.f1,
+    }
+
+
+def evaluate_scores(scores: np.ndarray, labels: np.ndarray) -> dict[str, float]:
+    """Threshold-free metrics for one continuous score array."""
+    best_f1, _ = best_f1_over_thresholds(scores, labels)
+    return {
+        "roc_auc": roc_auc(scores, labels),
+        "pr_auc": average_precision(scores, labels),
+        "best_f1": best_f1,
+    }
+
+
+def run_scores_on_archive(
+    name: str,
+    factory: Callable[[int], ScoringDetector],
+    datasets: list[Dataset],
+    seeds: Iterable[int] = (0,),
+) -> AggregateScores:
+    """Score-based analogue of :func:`run_on_archive`.
+
+    Evaluates detectors via their continuous scores (ROC AUC, PR AUC,
+    oracle best-F1) instead of thresholded predictions.  Useful for
+    comparing score quality independent of threshold calibration — with
+    the caveat (paper Sec. II-B) that oracle-threshold numbers flatter
+    every method.
+    """
+    per_run: list[DatasetScores] = []
+    seeds = list(seeds)
+    seed_means: dict[int, dict[str, float]] = {}
+    for seed in seeds:
+        seed_metrics: dict[str, list[float]] = {m: [] for m in SCORE_METRIC_NAMES}
+        for dataset in datasets:
+            detector = factory(seed)
+            detector.fit(dataset.train)
+            scores = detector.score_series(dataset.test)
+            metrics = evaluate_scores(scores, dataset.labels)
+            per_run.append(DatasetScores(dataset=dataset.name, seed=seed, metrics=metrics))
+            for key, value in metrics.items():
+                seed_metrics[key].append(value)
+        seed_means[seed] = {m: float(np.mean(v)) for m, v in seed_metrics.items()}
+    mean = {
+        m: float(np.mean([seed_means[s][m] for s in seeds])) for m in SCORE_METRIC_NAMES
+    }
+    std = {
+        m: float(np.std([seed_means[s][m] for s in seeds])) for m in SCORE_METRIC_NAMES
+    }
+    return AggregateScores(detector=name, mean=mean, std=std, per_run=per_run)
+
+
+def run_on_archive(
+    name: str,
+    factory: Callable[[int], Detector],
+    datasets: list[Dataset],
+    seeds: Iterable[int] = (0,),
+    on_detection: Callable[[Dataset, int, Detector, np.ndarray], None] | None = None,
+) -> AggregateScores:
+    """Evaluate ``factory(seed)`` detectors over datasets and seeds.
+
+    Parameters
+    ----------
+    factory:
+        Builds a fresh detector for a given seed.  The paper trains a
+        distinct model per dataset; we do the same (one ``fit`` per
+        dataset per seed).
+    on_detection:
+        Optional hook receiving every (dataset, seed, detector,
+        predictions) — used by benches that also need timing or window
+        information.
+    """
+    per_run: list[DatasetScores] = []
+    seed_means: dict[int, dict[str, float]] = {}
+    seeds = list(seeds)
+    for seed in seeds:
+        seed_metrics: dict[str, list[float]] = {m: [] for m in METRIC_NAMES}
+        for dataset in datasets:
+            detector = factory(seed)
+            detector.fit(dataset.train)
+            predictions = detector.predict(dataset.test)
+            metrics = evaluate_predictions(predictions, dataset.labels)
+            per_run.append(DatasetScores(dataset=dataset.name, seed=seed, metrics=metrics))
+            for key, value in metrics.items():
+                seed_metrics[key].append(value)
+            if on_detection is not None:
+                on_detection(dataset, seed, detector, predictions)
+        seed_means[seed] = {m: float(np.mean(v)) for m, v in seed_metrics.items()}
+
+    mean = {
+        m: float(np.mean([seed_means[s][m] for s in seeds])) for m in METRIC_NAMES
+    }
+    std = {
+        m: float(np.std([seed_means[s][m] for s in seeds])) for m in METRIC_NAMES
+    }
+    return AggregateScores(detector=name, mean=mean, std=std, per_run=per_run)

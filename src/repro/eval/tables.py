@@ -1,0 +1,33 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table.
+
+    Every cell is stringified; column widths adapt to content.
+    """
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)

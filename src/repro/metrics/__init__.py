@@ -1,0 +1,43 @@
+"""Evaluation metrics: point-wise F1, PA, PA%K (+AUC), affiliation,
+event accuracy, timing."""
+
+from .adjustment import PaKCurve, label_events, pa_k, pa_k_auc, point_adjust
+from .affiliation import AffiliationScore, affiliation_metrics
+from .auc import average_precision, best_f1_over_thresholds, roc_auc
+from .events import event_accuracy, event_detected, window_hits_event
+from .pointwise import Confusion, confusion, f1_score, precision_recall_f1
+from .ranges import RangeScore, range_precision_recall
+from .thresholds import (
+    fit_gpd_moments,
+    pot_threshold,
+    quantile_threshold,
+    sigma_threshold,
+)
+from .timing import Timer
+
+__all__ = [
+    "PaKCurve",
+    "label_events",
+    "pa_k",
+    "pa_k_auc",
+    "point_adjust",
+    "AffiliationScore",
+    "affiliation_metrics",
+    "event_accuracy",
+    "event_detected",
+    "window_hits_event",
+    "Confusion",
+    "confusion",
+    "f1_score",
+    "precision_recall_f1",
+    "Timer",
+    "average_precision",
+    "best_f1_over_thresholds",
+    "roc_auc",
+    "RangeScore",
+    "range_precision_recall",
+    "fit_gpd_moments",
+    "pot_threshold",
+    "quantile_threshold",
+    "sigma_threshold",
+]

@@ -1,0 +1,85 @@
+"""Threshold-free score metrics: ROC AUC and PR AUC (average precision).
+
+The paper evaluates binary predictions; score-based detectors (all the
+reconstruction/likelihood baselines) are often better compared without
+committing to a threshold.  Implemented from scratch and validated
+against hand-computed values in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["roc_auc", "average_precision", "best_f1_over_thresholds"]
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the rank statistic.
+
+    Equals the probability a random anomalous point outranks a random
+    normal point; ties share rank mass.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must have the same shape")
+    positives = int(labels.sum())
+    negatives = int((~labels).sum())
+    if positives == 0 or negatives == 0:
+        raise ValueError("both classes must be present")
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # Average ranks over ties.
+    sorted_scores = scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = ranks[order[i : j + 1]].mean()
+        i = j + 1
+    rank_sum = ranks[labels].sum()
+    return float((rank_sum - positives * (positives + 1) / 2.0) / (positives * negatives))
+
+
+def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the precision-recall curve (step interpolation)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must have the same shape")
+    positives = int(labels.sum())
+    if positives == 0:
+        raise ValueError("labels contain no positives")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    tp = np.cumsum(sorted_labels)
+    precision = tp / np.arange(1, len(scores) + 1)
+    # AP = mean of precision at each positive hit.
+    return float(precision[sorted_labels].sum() / positives)
+
+
+def best_f1_over_thresholds(scores: np.ndarray, labels: np.ndarray) -> tuple[float, float]:
+    """Best achievable point-wise F1 over all score thresholds.
+
+    Returns ``(f1, threshold)``.  A standard oracle-threshold summary;
+    note the paper cautions that oracle thresholds flatter detectors, so
+    this is for analysis, not headline comparison.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    positives = int(labels.sum())
+    if positives == 0:
+        raise ValueError("labels contain no positives")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    tp = np.cumsum(sorted_labels)
+    predicted = np.arange(1, len(scores) + 1)
+    precision = tp / predicted
+    recall = tp / positives
+    denominator = precision + recall
+    f1 = np.where(denominator > 0, 2 * precision * recall / np.maximum(denominator, 1e-12), 0.0)
+    best = int(np.argmax(f1))
+    return float(f1[best]), float(scores[order][best])

@@ -1,0 +1,58 @@
+"""Point-wise precision / recall / F1 for binary anomaly predictions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Confusion", "confusion", "precision_recall_f1", "f1_score"]
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """Binary confusion counts."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def precision(self) -> float:
+        return self.tp / (self.tp + self.fp) if (self.tp + self.fp) else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.tp / (self.tp + self.fn) if (self.tp + self.fn) else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def confusion(predictions: np.ndarray, labels: np.ndarray) -> Confusion:
+    """Confusion counts between binary arrays of equal length."""
+    predictions = np.asarray(predictions).astype(bool)
+    labels = np.asarray(labels).astype(bool)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    tp = int(np.sum(predictions & labels))
+    fp = int(np.sum(predictions & ~labels))
+    fn = int(np.sum(~predictions & labels))
+    tn = int(np.sum(~predictions & ~labels))
+    return Confusion(tp=tp, fp=fp, fn=fn, tn=tn)
+
+
+def precision_recall_f1(
+    predictions: np.ndarray, labels: np.ndarray
+) -> tuple[float, float, float]:
+    """Convenience wrapper returning ``(precision, recall, f1)``."""
+    c = confusion(predictions, labels)
+    return c.precision, c.recall, c.f1
+
+
+def f1_score(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Point-wise F1 — the paper's F1(PW) column."""
+    return confusion(predictions, labels).f1

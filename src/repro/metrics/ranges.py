@@ -1,0 +1,89 @@
+"""Range-based precision and recall (Tatbul et al., NeurIPS 2018).
+
+A third event-aware metric family alongside PA%K and affiliation:
+predicted and real anomaly *ranges* are matched, and each range's score
+combines an existence reward, an overlap-size term, and a positional
+bias.  Included because much of the TSAD literature the paper engages
+with reports it; the flat/default bias configuration is implemented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .adjustment import label_events
+
+__all__ = ["RangeScore", "range_precision_recall"]
+
+
+@dataclass(frozen=True)
+class RangeScore:
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def _overlap(a: tuple[int, int], b: tuple[int, int]) -> int:
+    return max(0, min(a[1], b[1]) - max(a[0], b[0]))
+
+
+def _range_reward(
+    target: tuple[int, int],
+    others: list[tuple[int, int]],
+    alpha: float,
+) -> float:
+    """Score of one range against a set of ranges.
+
+    ``alpha`` weights the existence reward; the remainder is the covered
+    fraction of the target range (flat positional bias, cardinality
+    factor 1 — the paper-default configuration of Tatbul et al.).
+    """
+    length = target[1] - target[0]
+    if length <= 0:
+        return 0.0
+    covered = sum(_overlap(target, other) for other in others)
+    covered = min(covered, length)
+    existence = 1.0 if covered > 0 else 0.0
+    return alpha * existence + (1.0 - alpha) * covered / length
+
+
+def range_precision_recall(
+    predictions: np.ndarray,
+    labels: np.ndarray,
+    alpha: float = 0.0,
+) -> RangeScore:
+    """Range-based precision/recall between binary arrays.
+
+    Parameters
+    ----------
+    alpha:
+        Existence-reward weight for recall (0 = pure overlap, as in the
+        evaluation configuration most TSAD papers use; 1 = any overlap
+        counts fully, which degenerates to PA-like behavior).
+    """
+    predictions = np.asarray(predictions).astype(bool)
+    labels = np.asarray(labels).astype(bool)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    predicted_ranges = label_events(predictions.astype(int))
+    real_ranges = label_events(labels.astype(int))
+
+    if not real_ranges:
+        raise ValueError("labels contain no anomalous range")
+
+    if predicted_ranges:
+        precision = float(
+            np.mean([_range_reward(p, real_ranges, alpha=0.0) for p in predicted_ranges])
+        )
+    else:
+        precision = 0.0
+    recall = float(
+        np.mean([_range_reward(r, predicted_ranges, alpha=alpha) for r in real_ranges])
+    )
+    return RangeScore(precision=precision, recall=recall)

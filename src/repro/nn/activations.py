@@ -1,0 +1,103 @@
+"""Additional activation modules: GELU, LeakyReLU, Softplus, ELU."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+from .tensor import Tensor, as_tensor
+
+__all__ = ["GELU", "LeakyReLU", "Softplus", "ELU", "gelu", "leaky_relu", "softplus", "elu"]
+
+_SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian Error Linear Unit (tanh approximation)."""
+    x = as_tensor(x)
+    inner = _SQRT_2_OVER_PI * (x.data + 0.044715 * x.data**3)
+    tanh_inner = np.tanh(inner)
+    out_data = 0.5 * x.data * (1.0 + tanh_inner)
+
+    def backward(grad: np.ndarray) -> None:
+        sech2 = 1.0 - tanh_inner**2
+        d_inner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x.data**2)
+        derivative = 0.5 * (1.0 + tanh_inner) + 0.5 * x.data * sech2 * d_inner
+        x._accumulate(grad * derivative)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    """max(x, slope*x)."""
+    x = as_tensor(x)
+    mask = x.data > 0
+    out_data = np.where(mask, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * np.where(mask, 1.0, negative_slope))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softplus(x: Tensor, beta: float = 1.0) -> Tensor:
+    """log(1 + exp(beta x)) / beta, numerically stable."""
+    x = as_tensor(x)
+    z = beta * x.data
+    out_data = (np.logaddexp(0.0, z)) / beta
+    sigmoid = 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * sigmoid)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    """x for x>0, alpha*(exp(x)-1) otherwise."""
+    x = as_tensor(x)
+    mask = x.data > 0
+    exp_term = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    out_data = np.where(mask, x.data, exp_term)
+
+    def backward(grad: np.ndarray) -> None:
+        derivative = np.where(mask, 1.0, exp_term + alpha)
+        x._accumulate(grad * derivative)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+class GELU(Module):
+    """Module wrapper for :func:`gelu`."""
+    def forward(self, x: Tensor) -> Tensor:
+        return gelu(x)
+
+
+class LeakyReLU(Module):
+    """Module wrapper for :func:`leaky_relu`."""
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return leaky_relu(x, self.negative_slope)
+
+
+class Softplus(Module):
+    """Module wrapper for :func:`softplus`."""
+    def __init__(self, beta: float = 1.0) -> None:
+        super().__init__()
+        self.beta = beta
+
+    def forward(self, x: Tensor) -> Tensor:
+        return softplus(x, self.beta)
+
+
+class ELU(Module):
+    """Module wrapper for :func:`elu`."""
+    def __init__(self, alpha: float = 1.0) -> None:
+        super().__init__()
+        self.alpha = alpha
+
+    def forward(self, x: Tensor) -> Tensor:
+        return elu(x, self.alpha)

@@ -1,0 +1,56 @@
+"""Multi-head self-attention, used by the attention-based baselines
+(AnomalyTransformer-lite and DCdetector-lite)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from . import functional as F
+from .layers import Linear
+from .module import Module
+from .tensor import Tensor, as_tensor
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Scaled dot-product self-attention over ``(batch, time, dim)`` input.
+
+    Returns both the attended values and the attention weights; the
+    AnomalyTransformer-lite baseline uses the weights to compute its
+    association-discrepancy score.
+    """
+
+    def __init__(
+        self, dim: int, num_heads: int = 4, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        rng = rng or np.random.default_rng()
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, steps: int) -> Tensor:
+        # (B, T, D) -> (B, H, T, d)
+        return x.reshape(batch, steps, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        x = as_tensor(x)
+        batch, steps, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, steps)
+        k = self._split_heads(self.k_proj(x), batch, steps)
+        v = self._split_heads(self.v_proj(x), batch, steps)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        weights = F.softmax(scores, axis=-1)  # (B, H, T, T)
+        attended = weights @ v  # (B, H, T, d)
+        merged = attended.transpose(0, 2, 1, 3).reshape(batch, steps, self.dim)
+        return self.out_proj(merged), weights

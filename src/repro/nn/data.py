@@ -1,0 +1,62 @@
+"""Mini data pipeline: shuffled batch iteration for training loops."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["BatchIterator"]
+
+
+class BatchIterator:
+    """Shuffled mini-batch iterator over one or more aligned arrays.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> batches = BatchIterator(np.arange(10).reshape(5, 2), batch_size=2,
+    ...                         rng=np.random.default_rng(0))
+    >>> total = sum(len(batch[0]) for batch in batches)
+    >>> total
+    5
+    """
+
+    def __init__(
+        self,
+        *arrays: np.ndarray,
+        batch_size: int = 32,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+        min_batch: int = 1,
+    ) -> None:
+        if not arrays:
+            raise ValueError("at least one array is required")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        lengths = {len(a) for a in arrays}
+        if len(lengths) != 1:
+            raise ValueError(f"arrays must share their first dimension, got {lengths}")
+        self.arrays = [np.asarray(a) for a in arrays]
+        self.batch_size = batch_size
+        self.rng = rng or np.random.default_rng()
+        self.drop_last = drop_last
+        self.min_batch = min_batch
+
+    def __len__(self) -> int:
+        count = len(self.arrays[0])
+        full, rest = divmod(count, self.batch_size)
+        if rest and not self.drop_last and rest >= self.min_batch:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, ...]]:
+        count = len(self.arrays[0])
+        order = self.rng.permutation(count)
+        for start in range(0, count, self.batch_size):
+            index = order[start : start + self.batch_size]
+            if len(index) < self.batch_size and self.drop_last:
+                return
+            if len(index) < self.min_batch:
+                return
+            yield tuple(array[index] for array in self.arrays)

@@ -1,0 +1,226 @@
+"""Stateless neural-network operations built on :mod:`repro.nn.tensor`.
+
+Includes the dilated same-padding 1-D convolution at the heart of TriAD's
+encoders, numerically-stable softmax family ops with custom backward
+rules, dropout, and the loss helpers shared by the baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, is_grad_enabled
+
+__all__ = [
+    "conv1d",
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "dropout",
+    "mse_loss",
+    "l1_loss",
+    "binary_cross_entropy",
+    "huber_loss",
+    "cosine_similarity",
+]
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    dilation: int = 1,
+    padding: str | int = "same",
+    stride: int = 1,
+) -> Tensor:
+    """Dilated, optionally strided 1-D convolution.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, in_channels, length)``.
+    weight:
+        Kernel of shape ``(out_channels, in_channels, kernel_size)``.
+    bias:
+        Optional per-output-channel bias of shape ``(out_channels,)``.
+    dilation:
+        Spacing between kernel taps.  TriAD doubles this per residual
+        block to grow the receptive field exponentially.
+    padding:
+        ``"same"`` (output length equals input length at stride 1),
+        ``"valid"``, ``"causal"`` (all padding on the left, so output
+        ``t`` never sees input after ``t`` — the TCN convention), or an
+        explicit integer amount applied symmetrically.
+    stride:
+        Hop between output positions.
+
+    Returns
+    -------
+    Tensor of shape ``(batch, out_channels, out_length)``.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    batch, in_channels, length = x.shape
+    out_channels, w_in, kernel_size = weight.shape
+    if w_in != in_channels:
+        raise ValueError(
+            f"weight expects {w_in} input channels, got {in_channels}"
+        )
+    if stride < 1:
+        raise ValueError("stride must be positive")
+
+    span = dilation * (kernel_size - 1)
+    if padding == "same":
+        pad_left = span // 2
+        pad_right = span - pad_left
+    elif padding == "causal":
+        pad_left, pad_right = span, 0
+    elif padding == "valid":
+        pad_left = pad_right = 0
+    else:
+        pad_left = pad_right = int(padding)
+
+    padded = np.pad(x.data, ((0, 0), (0, 0), (pad_left, pad_right)))
+    full_length = padded.shape[2] - span
+    if full_length <= 0:
+        raise ValueError("input too short for kernel/dilation combination")
+    out_length = (full_length - 1) // stride + 1
+
+    # Gather the K dilated taps as strided views: (B, C_in, K, L_out).
+    taps = np.stack(
+        [
+            padded[:, :, k * dilation : k * dilation + full_length : stride]
+            for k in range(kernel_size)
+        ],
+        axis=2,
+    )
+    out_data = np.einsum("bckl,ock->bol", taps, weight.data, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data[None, :, None]
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        if weight.requires_grad:
+            weight._accumulate(
+                np.einsum("bol,bckl->ock", grad, taps, optimize=True)
+            )
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        if x.requires_grad:
+            grad_taps = np.einsum("bol,ock->bckl", grad, weight.data, optimize=True)
+            grad_padded = np.zeros_like(padded)
+            for k in range(kernel_size):
+                grad_padded[
+                    :, :, k * dilation : k * dilation + full_length : stride
+                ] += grad_taps[:, :, k, :]
+            if pad_right:
+                grad_padded = grad_padded[:, :, pad_left : grad_padded.shape[2] - pad_right]
+            elif pad_left:
+                grad_padded = grad_padded[:, :, pad_left:]
+            x._accumulate(grad_padded)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        inner = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - inner))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))`` along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable ``log(sum(exp(x)))`` along ``axis``."""
+    x = as_tensor(x)
+    peak = x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(x.data - peak)
+    total = exp.sum(axis=axis, keepdims=True)
+    out_data = np.log(total) + peak
+    soft = exp / total
+    if not keepdims:
+        out_data = np.squeeze(out_data, axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        g = grad if keepdims else np.expand_dims(grad, axis)
+        x._accumulate(g * soft)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: zero with probability ``p``, rescale survivors."""
+    if not training or p <= 0.0:
+        return x
+    x = as_tensor(x)
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error over all elements."""
+    diff = as_tensor(prediction) - as_tensor(target)
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target) -> Tensor:
+    """Mean absolute error over all elements."""
+    return (as_tensor(prediction) - as_tensor(target)).abs().mean()
+
+
+def binary_cross_entropy(prediction: Tensor, target, eps: float = 1e-12) -> Tensor:
+    """Elementwise BCE averaged over all elements.
+
+    ``prediction`` must already lie in ``(0, 1)`` (e.g. sigmoid output).
+    """
+    p = as_tensor(prediction)
+    t = as_tensor(target)
+    p = p * (1 - 2 * eps) + eps  # keep log() finite at the boundaries
+    return -(t * p.log() + (1.0 - t) * (1.0 - p).log()).mean()
+
+
+def huber_loss(prediction: Tensor, target, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic within ``delta`` of the target, linear beyond.
+
+    Implemented from differentiable primitives (no custom backward):
+    ``0.5 r^2`` for |r| <= delta, ``delta (|r| - 0.5 delta)`` otherwise.
+    """
+    residual = as_tensor(prediction) - as_tensor(target)
+    abs_residual = residual.abs()
+    clipped = abs_residual - (abs_residual - delta).relu()  # min(|r|, delta)
+    return (clipped * abs_residual - 0.5 * clipped * clipped).mean()
+
+
+def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Cosine similarity between ``a`` and ``b`` along ``axis``."""
+    a = as_tensor(a)
+    b = as_tensor(b)
+    dot = (a * b).sum(axis=axis)
+    norm_a = ((a * a).sum(axis=axis) + eps).sqrt()
+    norm_b = ((b * b).sum(axis=axis) + eps).sqrt()
+    return dot / (norm_a * norm_b)

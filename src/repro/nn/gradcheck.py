@@ -1,0 +1,69 @@
+"""Numerical gradient checking for the autodiff engine.
+
+Every op in :mod:`repro.nn` is validated in the test suite by comparing
+its analytic gradient against central finite differences computed here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central finite-difference gradient of ``fn`` w.r.t. ``inputs[index]``.
+
+    ``fn`` must return a scalar :class:`Tensor`.
+    """
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = float(fn(*inputs).data)
+        flat[i] = original - eps
+        lower = float(fn(*inputs).data)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    eps: float = 1e-6,
+) -> None:
+    """Assert analytic gradients of ``fn`` match finite differences.
+
+    Raises ``AssertionError`` naming the offending input on mismatch.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    out = fn(*inputs)
+    if out.data.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    out.backward()
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(fn, inputs, index, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = float(np.max(np.abs(analytic - numeric)))
+            raise AssertionError(
+                f"gradient mismatch on input {index}: max abs error {worst:.3e}"
+            )

@@ -1,0 +1,88 @@
+"""Gated Recurrent Unit layers (a lighter-weight LSTM alternative)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor, stack
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """A single GRU step with fused gate weights.
+
+    Gate layout along the first axis of the fused matrices is
+    ``[reset, update, new]``.
+    """
+
+    def __init__(
+        self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            init.uniform_fan_in((3 * hidden_size, input_size), hidden_size, rng)
+        )
+        self.weight_hh = Parameter(
+            init.uniform_fan_in((3 * hidden_size, hidden_size), hidden_size, rng)
+        )
+        self.bias_ih = Parameter(init.uniform_fan_in((3 * hidden_size,), hidden_size, rng))
+        self.bias_hh = Parameter(init.uniform_fan_in((3 * hidden_size,), hidden_size, rng))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """Advance one step: (batch, input) x (batch, hidden) -> hidden."""
+        x = as_tensor(x)
+        hs = self.hidden_size
+        gi = x @ self.weight_ih.transpose() + self.bias_ih
+        gh = h @ self.weight_hh.transpose() + self.bias_hh
+        reset = (gi[:, 0:hs] + gh[:, 0:hs]).sigmoid()
+        update = (gi[:, hs : 2 * hs] + gh[:, hs : 2 * hs]).sigmoid()
+        new = (gi[:, 2 * hs : 3 * hs] + reset * gh[:, 2 * hs : 3 * hs]).tanh()
+        return (1.0 - update) * new + update * h
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+
+class GRU(Module):
+    """Unidirectional GRU over ``(batch, time, features)`` input."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_layers = num_layers
+        self.hidden_size = hidden_size
+        self.cells: list[GRUCell] = []
+        for layer in range(num_layers):
+            cell = GRUCell(input_size if layer == 0 else hidden_size, hidden_size, rng)
+            setattr(self, f"cell{layer}", cell)
+            self.cells.append(cell)
+
+    def forward(
+        self, x: Tensor, state: list[Tensor] | None = None
+    ) -> tuple[Tensor, list[Tensor]]:
+        """Returns top-layer outputs ``(batch, time, hidden)`` and final
+        hidden state per layer."""
+        x = as_tensor(x)
+        batch, steps, _ = x.shape
+        if state is None:
+            state = [cell.initial_state(batch) for cell in self.cells]
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            value = x[:, t, :]
+            for layer, cell in enumerate(self.cells):
+                state[layer] = cell(value, state[layer])
+                value = state[layer]
+            outputs.append(value)
+        return stack(outputs, axis=1), state

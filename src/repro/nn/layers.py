@@ -1,0 +1,179 @@
+"""Standard layers: Linear, Conv1d, norms, dropout, activations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "Linear",
+    "Conv1d",
+    "LayerNorm",
+    "BatchNorm1d",
+    "Dropout",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b`` over the last axis of ``x``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
+        self.bias = (
+            Parameter(init.uniform_fan_in((out_features,), in_features, rng))
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = as_tensor(x) @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv1d(Module):
+    """Dilated 1-D convolution over ``(batch, channels, length)`` input."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        dilation: int = 1,
+        padding: str | int = "same",
+        stride: int = 1,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.dilation = dilation
+        self.padding = padding
+        self.stride = stride
+        shape = (out_channels, in_channels, kernel_size)
+        self.weight = Parameter(init.kaiming_uniform(shape, rng))
+        self.bias = (
+            Parameter(init.uniform_fan_in((out_channels,), in_channels * kernel_size, rng))
+            if bias
+            else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv1d(
+            x,
+            self.weight,
+            self.bias,
+            dilation=self.dilation,
+            padding=self.padding,
+            stride=self.stride,
+        )
+
+
+class LayerNorm(Module):
+    """Normalize over the last axis, then scale and shift."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape))
+        self.bias = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        normalized = (x - mean) / (var + self.eps).sqrt()
+        return normalized * self.weight + self.bias
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over ``(batch, channels, length)`` input.
+
+    Running statistics are tracked as buffers so that ``eval()`` mode
+    uses the training-time population estimates.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self._buffer_running_mean = np.zeros(num_features)
+        self._buffer_running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.ndim != 3:
+            raise ValueError("BatchNorm1d expects (batch, channels, length) input")
+        if self.training:
+            mean = x.mean(axis=(0, 2), keepdims=True)
+            var = x.var(axis=(0, 2), keepdims=True)
+            m = self.momentum
+            self._buffer_running_mean *= 1 - m
+            self._buffer_running_mean += m * mean.data.reshape(-1)
+            self._buffer_running_var *= 1 - m
+            self._buffer_running_var += m * var.data.reshape(-1)
+        else:
+            mean = Tensor(self._buffer_running_mean.reshape(1, -1, 1))
+            var = Tensor(self._buffer_running_var.reshape(1, -1, 1))
+        normalized = (x - mean) / (var + self.eps).sqrt()
+        return normalized * self.weight.reshape(1, -1, 1) + self.bias.reshape(1, -1, 1)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in ``eval()`` mode."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.rng)
+
+
+class ReLU(Module):
+    """Rectified linear unit: max(x, 0)."""
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x).relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x).tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x).sigmoid()
+
+
+class Identity(Module):
+    """Pass-through module (used as a no-op skip connection)."""
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x)

@@ -1,0 +1,93 @@
+"""Pooling layers over ``(batch, channels, length)`` input."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+from .tensor import Tensor, as_tensor
+
+__all__ = ["MaxPool1d", "AvgPool1d", "GlobalMaxPool1d", "GlobalAvgPool1d"]
+
+
+def _pooled_view(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Non-overlapping-or-strided windows view: (B, C, out, kernel)."""
+    batch, channels, length = x.shape
+    out = (length - kernel) // stride + 1
+    view = np.lib.stride_tricks.sliding_window_view(x, kernel, axis=2)
+    return view[:, :, ::stride][:, :, :out]
+
+
+class MaxPool1d(Module):
+    """Max pooling with kernel size and stride (defaults to kernel)."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.ndim != 3:
+            raise ValueError("MaxPool1d expects (batch, channels, length)")
+        view = _pooled_view(x.data, self.kernel_size, self.stride)
+        out_data = view.max(axis=-1)
+        argmax = view.argmax(axis=-1)
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.zeros_like(x.data)
+            batch, channels, out = grad.shape
+            b_idx, c_idx, o_idx = np.meshgrid(
+                np.arange(batch), np.arange(channels), np.arange(out), indexing="ij"
+            )
+            positions = o_idx * self.stride + argmax
+            np.add.at(g, (b_idx, c_idx, positions), grad)
+            x._accumulate(g)
+
+        return Tensor._make(out_data, (x,), backward)
+
+
+class AvgPool1d(Module):
+    """Average pooling with kernel size and stride (defaults to kernel)."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = as_tensor(x)
+        if x.ndim != 3:
+            raise ValueError("AvgPool1d expects (batch, channels, length)")
+        view = _pooled_view(x.data, self.kernel_size, self.stride)
+        out_data = view.mean(axis=-1)
+        kernel, stride = self.kernel_size, self.stride
+
+        def backward(grad: np.ndarray) -> None:
+            g = np.zeros_like(x.data)
+            batch, channels, out = grad.shape
+            share = grad / kernel
+            for k in range(kernel):
+                positions = np.arange(out) * stride + k
+                g[:, :, positions] += share
+            x._accumulate(g)
+
+        return Tensor._make(out_data, (x,), backward)
+
+
+class GlobalMaxPool1d(Module):
+    """Max over the length axis: (B, C, L) -> (B, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x).max(axis=2)
+
+
+class GlobalAvgPool1d(Module):
+    """Mean over the length axis: (B, C, L) -> (B, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return as_tensor(x).mean(axis=2)

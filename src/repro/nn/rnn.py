@@ -1,0 +1,114 @@
+"""Recurrent layers: LSTM cell and a single/multi-layer LSTM.
+
+Used by the LSTM-AE baseline that the paper (following Kim et al., AAAI
+2022) treats as the reference benchmark for time series anomaly
+detection, in both randomly initialized and trained forms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor, stack
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """A single LSTM step with fused gate weights.
+
+    Gate layout along the first axis of the fused matrices is
+    ``[input, forget, cell, output]``.
+    """
+
+    def __init__(
+        self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Parameter(
+            init.uniform_fan_in((4 * hidden_size, input_size), hidden_size, rng)
+        )
+        self.weight_hh = Parameter(
+            init.uniform_fan_in((4 * hidden_size, hidden_size), hidden_size, rng)
+        )
+        self.bias = Parameter(init.uniform_fan_in((4 * hidden_size,), hidden_size, rng))
+
+    def forward(
+        self, x: Tensor, state: tuple[Tensor, Tensor]
+    ) -> tuple[Tensor, Tensor]:
+        """Advance one step.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, input_size)``.
+        state:
+            Tuple ``(h, c)`` each of shape ``(batch, hidden_size)``.
+        """
+        h, c = state
+        gates = as_tensor(x) @ self.weight_ih.transpose() + h @ self.weight_hh.transpose()
+        gates = gates + self.bias
+        hs = self.hidden_size
+        i_gate = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f_gate = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs : 3 * hs].tanh()
+        o_gate = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_next = f_gate * c + i_gate * g_gate
+        h_next = o_gate * c_next.tanh()
+        return h_next, c_next
+
+    def initial_state(self, batch: int) -> tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Unidirectional LSTM over ``(batch, time, features)`` input."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_layers = num_layers
+        self.hidden_size = hidden_size
+        self.cells: list[LSTMCell] = []
+        for layer in range(num_layers):
+            cell = LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng)
+            setattr(self, f"cell{layer}", cell)
+            self.cells.append(cell)
+
+    def forward(
+        self, x: Tensor, state: list[tuple[Tensor, Tensor]] | None = None
+    ) -> tuple[Tensor, list[tuple[Tensor, Tensor]]]:
+        """Run the full sequence.
+
+        Returns
+        -------
+        outputs:
+            Hidden states of the top layer, shape ``(batch, time, hidden)``.
+        state:
+            Final ``(h, c)`` per layer.
+        """
+        x = as_tensor(x)
+        batch, steps, _ = x.shape
+        if state is None:
+            state = [cell.initial_state(batch) for cell in self.cells]
+        outputs: list[Tensor] = []
+        for t in range(steps):
+            value = x[:, t, :]
+            for layer, cell in enumerate(self.cells):
+                h, c = cell(value, state[layer])
+                state[layer] = (h, c)
+                value = h
+            outputs.append(value)
+        return stack(outputs, axis=1), state

@@ -1,0 +1,103 @@
+"""Learning-rate schedulers and early stopping for training loops."""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["StepLR", "CosineAnnealingLR", "ExponentialLR", "EarlyStopping"]
+
+
+class _Scheduler:
+    """Base scheduler: stores the initial lr and steps the optimizer."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch; returns (and applies) the new lr."""
+        self.epoch += 1
+        lr = self.get_lr()
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(_Scheduler):
+    """Multiply lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class ExponentialLR(_Scheduler):
+    """Multiply lr by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * self.gamma**self.epoch
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base lr to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class EarlyStopping:
+    """Stop training when a monitored value stops improving.
+
+    Example
+    -------
+    >>> stopper = EarlyStopping(patience=3)
+    >>> for epoch in range(100):
+    ...     val = 1.0
+    ...     if stopper.update(val):
+    ...         break
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be positive")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = math.inf
+        self.bad_epochs = 0
+        self.stopped = False
+
+    def update(self, value: float) -> bool:
+        """Record a new monitored value; returns True when training
+        should stop."""
+        if value < self.best - self.min_delta:
+            self.best = value
+            self.bad_epochs = 0
+        else:
+            self.bad_epochs += 1
+        self.stopped = self.bad_epochs >= self.patience
+        return self.stopped

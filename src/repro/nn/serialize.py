@@ -1,0 +1,27 @@
+"""Save/load module state dicts as compressed ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Persist ``module.state_dict()`` to ``path`` (npz format).
+
+    Parameter names may contain dots; they are stored verbatim as npz keys.
+    """
+    state = module.state_dict()
+    np.savez_compressed(path, **state)
+
+
+def load_module(module: Module, path: str | os.PathLike) -> None:
+    """Restore a module previously saved with :func:`save_module`."""
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,72 @@
+"""Signal-processing substrate: FFT features, Butterworth filtering,
+period estimation, decomposition, normalization, and windowing."""
+
+from .butterworth import (
+    butter_bandpass,
+    butter_highpass,
+    butter_lowpass,
+    butterworth_smooth,
+    filtfilt,
+    lfilter,
+)
+from .changepoint import CusumResult, binary_segmentation, cusum, segment_costs
+from .decompose import Decomposition, decompose, moving_average, residual_component
+from .fft import (
+    dominant_frequency,
+    frequency_features,
+    spectral_amplitude,
+    spectral_phase,
+    spectral_power,
+)
+from .normalize import minmax, robust_zscore, znorm_windows, zscore
+from .period import acf_period, autocorrelation, estimate_period, fft_period
+from .resample import (
+    detrend_linear,
+    downsample_mean,
+    resample_fourier,
+    resample_linear,
+)
+from .spectral import hann_window, spectrogram, stft, welch_psd
+from .windows import WindowPlan, coverage_mask, plan_windows, sliding_windows
+
+__all__ = [
+    "CusumResult",
+    "binary_segmentation",
+    "cusum",
+    "segment_costs",
+    "butter_bandpass",
+    "butter_highpass",
+    "butter_lowpass",
+    "butterworth_smooth",
+    "filtfilt",
+    "lfilter",
+    "Decomposition",
+    "decompose",
+    "moving_average",
+    "residual_component",
+    "dominant_frequency",
+    "frequency_features",
+    "spectral_amplitude",
+    "spectral_phase",
+    "spectral_power",
+    "minmax",
+    "robust_zscore",
+    "znorm_windows",
+    "zscore",
+    "acf_period",
+    "autocorrelation",
+    "estimate_period",
+    "fft_period",
+    "WindowPlan",
+    "coverage_mask",
+    "plan_windows",
+    "sliding_windows",
+    "detrend_linear",
+    "downsample_mean",
+    "resample_fourier",
+    "resample_linear",
+    "hann_window",
+    "spectrogram",
+    "stft",
+    "welch_psd",
+]

@@ -1,0 +1,81 @@
+"""Seasonal–trend–residual decomposition.
+
+TriAD's residual encoder consumes the series with its periodic trend
+removed (Sec. III-B: "derived by eliminating the underlying periodic
+trends from the original input").  This module implements a classical
+moving-average decomposition — a lightweight STL analogue — sufficient
+for that purpose and fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Decomposition", "decompose", "residual_component", "moving_average"]
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """Additive decomposition ``x = trend + seasonal + residual``."""
+
+    trend: np.ndarray
+    seasonal: np.ndarray
+    residual: np.ndarray
+
+    def reconstruct(self) -> np.ndarray:
+        return self.trend + self.seasonal + self.residual
+
+
+def moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with reflected edges (same length as input)."""
+    x = np.asarray(x, dtype=np.float64)
+    if window <= 1:
+        return x.copy()
+    window = min(window, len(x))
+    pad_left = window // 2
+    pad_right = window - 1 - pad_left
+    padded = np.pad(x, (pad_left, pad_right), mode="reflect")
+    kernel = np.ones(window) / window
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def decompose(x: np.ndarray, period: int) -> Decomposition:
+    """Classical additive decomposition with known ``period``.
+
+    The trend is a centered moving average of one period; the seasonal
+    component is the per-phase mean of the detrended series, centered to
+    sum to zero; the residual is what remains.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    period = max(int(period), 1)
+    trend = moving_average(x, period)
+    detrended = x - trend
+
+    if period == 1:
+        seasonal = np.zeros_like(x)
+    else:
+        phases = np.arange(len(x)) % period
+        seasonal_profile = np.zeros(period)
+        for phase in range(period):
+            values = detrended[phases == phase]
+            seasonal_profile[phase] = values.mean() if len(values) else 0.0
+        seasonal_profile -= seasonal_profile.mean()
+        seasonal = seasonal_profile[phases]
+
+    residual = x - trend - seasonal
+    return Decomposition(trend=trend, seasonal=seasonal, residual=residual)
+
+
+def residual_component(x: np.ndarray, period: int) -> np.ndarray:
+    """Residual channel for TriAD's residual encoder, z-normalized.
+
+    Normalization keeps the residual scale comparable across datasets so
+    a single encoder architecture works archive-wide.
+    """
+    residual = decompose(x, period).residual
+    std = residual.std()
+    if std < 1e-12:
+        return np.zeros_like(residual)
+    return (residual - residual.mean()) / std

@@ -1,0 +1,98 @@
+"""Dominant-period estimation.
+
+The paper sizes detection windows at 2.5 × the series' inherent
+periodicity (Sec. IV-A2), so a robust period estimator is a required
+substrate.  We combine two views — the autocorrelation function's first
+significant peak and the FFT's dominant harmonic — and reconcile them,
+which is resilient both to harmonics (which fool the FFT) and to slow
+trends (which fool the ACF).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["estimate_period", "autocorrelation", "acf_period", "fft_period"]
+
+
+def autocorrelation(x: np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Biased sample autocorrelation up to ``max_lag`` (FFT-based)."""
+    x = np.asarray(x, dtype=np.float64)
+    x = x - x.mean()
+    n = len(x)
+    if max_lag is None:
+        max_lag = n // 2
+    size = int(2 ** np.ceil(np.log2(2 * n)))
+    spectrum = np.fft.rfft(x, size)
+    acf = np.fft.irfft(spectrum * np.conj(spectrum))[: max_lag + 1]
+    if acf[0] <= 0:
+        return np.zeros(max_lag + 1)
+    return acf / acf[0]
+
+
+def acf_period(x: np.ndarray, min_period: int = 2) -> int | None:
+    """Lag of the first prominent autocorrelation peak, or ``None``."""
+    acf = autocorrelation(x)
+    if len(acf) <= min_period + 1:
+        return None
+    # A peak: local maximum above a mild significance floor.
+    floor = 2.0 / np.sqrt(len(x))
+    best_lag, best_value = None, floor
+    for lag in range(min_period, len(acf) - 1):
+        if acf[lag] > acf[lag - 1] and acf[lag] >= acf[lag + 1] and acf[lag] > best_value:
+            best_lag, best_value = lag, acf[lag]
+    return best_lag
+
+
+def fft_period(x: np.ndarray) -> int | None:
+    """Period implied by the strongest non-DC FFT harmonic, or ``None``."""
+    x = np.asarray(x, dtype=np.float64)
+    n = len(x)
+    if n < 4:
+        return None
+    power = np.abs(np.fft.rfft(x - x.mean())) ** 2
+    if len(power) <= 1:
+        return None
+    k = int(np.argmax(power[1:]) + 1)
+    period = int(round(n / k))
+    return period if period >= 2 else None
+
+
+def estimate_period(x: np.ndarray, default: int = 64, max_period: int | None = None) -> int:
+    """Estimate the dominant period of ``x``.
+
+    Prefers the ACF peak when the FFT harmonic is consistent with it (the
+    FFT often locks onto an overtone at ``period/2`` or ``period/3``);
+    falls back gracefully when either view is unavailable.
+
+    Parameters
+    ----------
+    x:
+        The series (typically a training split, anomaly-free).
+    default:
+        Returned when no periodic structure is detectable.
+    max_period:
+        Upper clamp; defaults to ``len(x) // 4`` so that a window of
+        2.5 periods always fits several times into the series.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if max_period is None:
+        max_period = max(len(x) // 4, 2)
+
+    from_acf = acf_period(x)
+    from_fft = fft_period(x)
+
+    if from_acf is None and from_fft is None:
+        period = default
+    elif from_acf is None:
+        period = from_fft
+    elif from_fft is None:
+        period = from_acf
+    else:
+        # If the FFT found an overtone of the ACF period, trust the ACF.
+        ratio = from_acf / from_fft
+        if abs(ratio - round(ratio)) < 0.15 and round(ratio) >= 1:
+            period = from_acf
+        else:
+            period = from_fft
+    return int(np.clip(period, 2, max_period))

@@ -1,0 +1,72 @@
+"""Resampling and detrending utilities.
+
+Useful when running the detector on archives with mismatched sampling
+rates, or before spectral analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["resample_linear", "resample_fourier", "detrend_linear", "downsample_mean"]
+
+
+def resample_linear(x: np.ndarray, target_length: int) -> np.ndarray:
+    """Resample by linear interpolation onto a uniform grid."""
+    x = np.asarray(x, dtype=np.float64)
+    if target_length < 1:
+        raise ValueError("target_length must be positive")
+    if len(x) == target_length:
+        return x.copy()
+    source = np.linspace(0.0, 1.0, len(x))
+    target = np.linspace(0.0, 1.0, target_length)
+    return np.interp(target, source, x)
+
+
+def resample_fourier(x: np.ndarray, target_length: int) -> np.ndarray:
+    """Fourier-domain resampling (band-limited; matches
+    ``scipy.signal.resample`` for even/odd combinations we test)."""
+    x = np.asarray(x, dtype=np.float64)
+    n = len(x)
+    if target_length < 1:
+        raise ValueError("target_length must be positive")
+    spectrum = np.fft.rfft(x)
+    out_bins = target_length // 2 + 1
+    resized = np.zeros(out_bins, dtype=complex)
+    keep = min(len(spectrum), out_bins)
+    resized[:keep] = spectrum[:keep]
+    # Nyquist-bin conventions (matching scipy.signal.resample):
+    # - downsampling to an even length folds the +/- Nyquist components
+    #   together: the new Nyquist bin is 2 * Re(X[k_nyq]);
+    # - upsampling from an even length splits the source Nyquist energy
+    #   between +/- bins: the copied bin is halved.
+    if target_length < n and target_length % 2 == 0 and keep == out_bins:
+        resized[-1] = 2.0 * resized[-1].real
+    elif target_length > n and n % 2 == 0:
+        resized[n // 2] *= 0.5
+    return np.fft.irfft(resized, target_length) * (target_length / n)
+
+
+def detrend_linear(x: np.ndarray) -> np.ndarray:
+    """Remove the least-squares straight line from ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    t = np.arange(len(x), dtype=np.float64)
+    slope, intercept = np.polyfit(t, x, 1)
+    return x - (slope * t + intercept)
+
+
+def downsample_mean(x: np.ndarray, factor: int) -> np.ndarray:
+    """Decimate by averaging non-overlapping blocks of ``factor`` samples.
+
+    A trailing partial block is averaged as-is.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if factor < 1:
+        raise ValueError("factor must be positive")
+    if factor == 1:
+        return x.copy()
+    full = len(x) // factor
+    head = x[: full * factor].reshape(full, factor).mean(axis=1)
+    if len(x) % factor:
+        return np.concatenate([head, [x[full * factor :].mean()]])
+    return head

@@ -1,0 +1,33 @@
+"""Input validation shared across public entry points.
+
+Detectors and loaders accept user-supplied arrays; these helpers turn
+silent NaN propagation or cryptic downstream shape errors into clear
+exceptions at the API boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_series", "ensure_finite"]
+
+
+def ensure_finite(x: np.ndarray, name: str = "series") -> np.ndarray:
+    """Reject NaN/Inf values with a descriptive error."""
+    x = np.asarray(x, dtype=np.float64)
+    if not np.all(np.isfinite(x)):
+        bad = int(np.sum(~np.isfinite(x)))
+        raise ValueError(f"{name} contains {bad} non-finite values (NaN/Inf)")
+    return x
+
+
+def ensure_series(
+    x: np.ndarray, name: str = "series", min_length: int = 2
+) -> np.ndarray:
+    """Validate a 1-D finite time series of at least ``min_length`` points."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {x.shape}")
+    if len(x) < min_length:
+        raise ValueError(f"{name} needs at least {min_length} points, got {len(x)}")
+    return ensure_finite(x, name)

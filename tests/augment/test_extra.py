@@ -1,0 +1,79 @@
+"""Tests for the opt-in scale/shift augmentations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.augment import (
+    ALL_AUGMENTATIONS,
+    AUGMENTATIONS,
+    augment_window,
+    scale_segment,
+    shift_segment,
+)
+
+
+@pytest.fixture
+def window():
+    t = np.arange(160)
+    return np.sin(2 * np.pi * t / 40) + 0.5
+
+
+class TestScaleSegment:
+    def test_only_segment_changes(self, window, rng):
+        out = scale_segment(window, 40, 60, rng)
+        assert np.array_equal(out[:40], window[:40])
+        assert np.array_equal(out[100:], window[100:])
+        assert not np.array_equal(out[40:100], window[40:100])
+
+    def test_level_preserved(self, window, rng):
+        out = scale_segment(window, 40, 60, rng)
+        assert out[40:100].mean() == pytest.approx(window[40:100].mean(), abs=1e-9)
+
+    def test_amplitude_scaled(self, window):
+        out = scale_segment(window, 40, 80, np.random.default_rng(0), scale_range=(2.0, 2.0))
+        assert out[40:120].std() == pytest.approx(2.0 * window[40:120].std(), rel=1e-9)
+
+    def test_out_of_range(self, window, rng):
+        with pytest.raises(ValueError):
+            scale_segment(window, 150, 20, rng)
+
+
+class TestShiftSegment:
+    def test_only_segment_changes(self, window, rng):
+        out = shift_segment(window, 40, 60, rng)
+        assert np.array_equal(out[:40], window[:40])
+        assert np.array_equal(out[100:], window[100:])
+        assert not np.array_equal(out[40:100], window[40:100])
+
+    def test_values_preserved(self, window, rng):
+        """A roll permutes values — the distribution is untouched."""
+        out = shift_segment(window, 40, 60, rng)
+        assert np.allclose(np.sort(out[40:100]), np.sort(window[40:100]))
+
+    def test_out_of_range(self, window, rng):
+        with pytest.raises(ValueError):
+            shift_segment(window, -5, 20, rng)
+
+
+class TestPipelineIntegration:
+    def test_default_pipeline_unchanged(self):
+        """The paper's default pair stays exactly jitter+warp."""
+        assert AUGMENTATIONS == ("jitter", "warp")
+
+    def test_all_augmentations_superset(self):
+        assert set(AUGMENTATIONS) < set(ALL_AUGMENTATIONS)
+
+    def test_augment_window_accepts_extras(self, window):
+        for seed in range(8):
+            out = augment_window(
+                window, np.random.default_rng(seed), methods=ALL_AUGMENTATIONS
+            )
+            assert out.shape == window.shape
+            assert not np.array_equal(out, window)
+
+    @pytest.mark.parametrize("method", ["scale", "shift"])
+    def test_single_method_selection(self, window, rng, method):
+        out = augment_window(window, rng, methods=(method,))
+        assert not np.array_equal(out, window)

@@ -1,0 +1,59 @@
+"""Tests for the change-point baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ChangePointDetector
+from repro.data import DatasetSpec, make_dataset
+
+
+@pytest.fixture
+def level_shift_dataset():
+    return make_dataset(
+        DatasetSpec(
+            name="cp_ds",
+            family="sine",
+            period=40,
+            train_length=800,
+            test_length=1200,
+            anomaly_type="level_shift",
+            anomaly_start=700,
+            anomaly_length=120,
+            noise_level=0.05,
+            seed=8,
+        )
+    )
+
+
+class TestChangePointDetector:
+    def test_scores_peak_at_shift_boundaries(self, level_shift_dataset):
+        ds = level_shift_dataset
+        detector = ChangePointDetector().fit(ds.train)
+        scores = detector.score_series(ds.test)
+        start, end = ds.anomaly_interval
+        near = scores[max(start - 30, 0) : end + 30].max()
+        assert near > 0
+        assert near >= scores.max() * 0.99
+
+    def test_detects_level_shift(self, level_shift_dataset):
+        ds = level_shift_dataset
+        detector = ChangePointDetector().fit(ds.train)
+        predictions = detector.detect(ds.test)
+        start, end = ds.anomaly_interval
+        window = predictions[max(start - 30, 0) : end + 30]
+        assert window.any()
+
+    def test_blind_to_contextual_anomaly(self, small_dataset):
+        """Shape-only anomalies produce no mean shift to find."""
+        detector = ChangePointDetector().fit(small_dataset.train)
+        predictions = detector.detect(small_dataset.test)
+        start, end = small_dataset.anomaly_interval
+        assert predictions[start:end].mean() < 0.5
+
+    def test_contract(self, small_dataset):
+        detector = ChangePointDetector().fit(small_dataset.train)
+        scores = detector.score_series(small_dataset.test)
+        assert scores.shape == small_dataset.test.shape
+        assert np.all(scores >= 0)

@@ -1,0 +1,41 @@
+"""Tests for the DeepAnT-lite forecasting baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DeepAnTDetector
+
+
+class TestDeepAnT:
+    def test_contract(self, small_dataset):
+        detector = DeepAnTDetector(epochs=2, seed=0).fit(small_dataset.train)
+        scores = detector.score_series(small_dataset.test)
+        assert scores.shape == small_dataset.test.shape
+        assert np.all(np.isfinite(scores))
+        predictions = detector.detect(small_dataset.test)
+        assert predictions.any()
+
+    def test_learns_to_forecast_periodic_signal(self, noisy_wave):
+        detector = DeepAnTDetector(epochs=4, seed=0).fit(noisy_wave)
+        scores = detector.score_series(noisy_wave)
+        # Forecast error on in-distribution data stays near the noise floor.
+        assert np.median(scores) < 0.6
+
+    def test_scores_spike_anomaly_higher(self, spike_dataset):
+        detector = DeepAnTDetector(epochs=4, seed=0).fit(spike_dataset.train)
+        scores = detector.score_series(spike_dataset.test)
+        start, end = spike_dataset.anomaly_interval
+        near = scores[max(start - 4, 0) : end + 4].max()
+        assert near > 4 * np.median(scores)
+
+    def test_warmup_prefix_neutral(self, small_dataset):
+        detector = DeepAnTDetector(window=32, epochs=1, seed=0).fit(small_dataset.train)
+        scores = detector.score_series(small_dataset.test)
+        # The first `window` points carry the median score, not zero.
+        assert scores[0] == pytest.approx(np.median(scores[32:]), rel=1e-9)
+
+    def test_unfitted_raises(self, small_dataset):
+        with pytest.raises(RuntimeError):
+            DeepAnTDetector().score_series(small_dataset.test)

@@ -1,0 +1,80 @@
+"""Tests for the Donut-lite VAE baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import DonutDetector, WindowVAE
+
+
+@pytest.fixture
+def vae():
+    return WindowVAE(window=16, latent=3, hidden=12, rng=np.random.default_rng(0))
+
+
+class TestWindowVAE:
+    def test_shapes(self, vae, rng):
+        x = nn.Tensor(rng.normal(size=(5, 16)))
+        reconstruction, mu, logvar = vae(x)
+        assert reconstruction.shape == (5, 16)
+        assert mu.shape == (5, 3)
+        assert logvar.shape == (5, 3)
+
+    def test_elbo_scalar_and_grads(self, vae, rng):
+        x = nn.Tensor(rng.normal(size=(4, 16)))
+        loss = vae.elbo_loss(x)
+        assert loss.data.size == 1
+        loss.backward()
+        for name, param in vae.named_parameters():
+            assert param.grad is not None, name
+
+    def test_reparameterization_is_stochastic(self, vae, rng):
+        mu = nn.Tensor(rng.normal(size=(2, 3)))
+        logvar = nn.Tensor(np.zeros((2, 3)))
+        z1 = vae.reparameterize(mu, logvar)
+        z2 = vae.reparameterize(mu, logvar)
+        assert not np.allclose(z1.data, z2.data)
+
+    def test_zero_variance_is_deterministic(self, vae, rng):
+        mu = nn.Tensor(rng.normal(size=(2, 3)))
+        logvar = nn.Tensor(np.full((2, 3), -60.0))  # sigma ~ 0
+        z = vae.reparameterize(mu, logvar)
+        assert np.allclose(z.data, mu.data, atol=1e-8)
+
+    def test_training_reduces_elbo(self, rng):
+        vae = WindowVAE(window=16, latent=3, hidden=16, rng=np.random.default_rng(1))
+        t = np.arange(16)
+        data = np.stack([np.sin(2 * np.pi * (t + p) / 16) for p in range(32)])
+        data += 0.05 * rng.standard_normal(data.shape)
+        optimizer = nn.Adam(vae.parameters(), lr=5e-3)
+        first = last = None
+        for _ in range(60):
+            loss = vae.elbo_loss(nn.Tensor(data), beta=0.1)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            first = first if first is not None else loss.item()
+            last = loss.item()
+        assert last < first * 0.7
+
+
+class TestDonutDetector:
+    def test_contract(self, small_dataset):
+        detector = DonutDetector(epochs=2, seed=0).fit(small_dataset.train)
+        scores = detector.score_series(small_dataset.test)
+        assert scores.shape == small_dataset.test.shape
+        predictions = detector.detect(small_dataset.test)
+        assert predictions.any()
+
+    def test_detects_spike(self, spike_dataset):
+        detector = DonutDetector(epochs=4, seed=0).fit(spike_dataset.train)
+        scores = detector.score_series(spike_dataset.test)
+        start, end = spike_dataset.anomaly_interval
+        near = scores[max(start - 16, 0) : end + 16].max()
+        assert near > np.median(scores) * 2
+
+    def test_unfitted_raises(self, small_dataset):
+        with pytest.raises(RuntimeError):
+            DonutDetector().score_series(small_dataset.test)

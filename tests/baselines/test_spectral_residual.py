@@ -1,0 +1,49 @@
+"""Tests for the Spectral Residual baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SpectralResidualDetector
+from repro.baselines.spectral_residual import spectral_residual_saliency
+
+
+class TestSaliency:
+    def test_output_shape_and_finite(self, rng):
+        x = rng.normal(size=500)
+        saliency = spectral_residual_saliency(x)
+        assert saliency.shape == x.shape
+        assert np.all(np.isfinite(saliency))
+        assert np.all(saliency >= 0)
+
+    def test_spike_is_salient(self, sine_wave):
+        x = sine_wave.copy()
+        x[500] += 5.0
+        saliency = spectral_residual_saliency(x)
+        assert np.argmax(saliency) in range(495, 506)
+
+    def test_constant_signal_no_crash(self):
+        saliency = spectral_residual_saliency(np.zeros(100))
+        assert np.all(np.isfinite(saliency))
+
+
+class TestDetector:
+    def test_detects_spike(self, spike_dataset):
+        detector = SpectralResidualDetector().fit(spike_dataset.train)
+        predictions = detector.detect(spike_dataset.test)
+        start, end = spike_dataset.anomaly_interval
+        assert predictions[max(start - 2, 0) : end + 2].any()
+
+    def test_scores_shape(self, small_dataset):
+        detector = SpectralResidualDetector().fit(small_dataset.train)
+        scores = detector.score_series(small_dataset.test)
+        assert scores.shape == small_dataset.test.shape
+
+    def test_struggles_on_subtle_anomaly(self, small_dataset):
+        """Like the one-liner, SR misses shape-only anomalies — this is
+        the behavior that motivates learned detectors."""
+        detector = SpectralResidualDetector().fit(small_dataset.train)
+        predictions = detector.detect(small_dataset.test)
+        start, end = small_dataset.anomaly_interval
+        assert predictions[start:end].mean() < 0.5

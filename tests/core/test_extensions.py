@@ -1,0 +1,152 @@
+"""Tests for TriAD extensions: persistence, weighted scoring, top-Z."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TriAD, TriADConfig
+from repro.core import load_detector, save_detector, score_votes_weighted, weighted_votes
+from repro.discord.brute import Discord
+from repro.discord.merlin import MerlinResult
+
+
+@pytest.fixture(scope="module")
+def fitted_small(noisy_wave_module):
+    config = TriADConfig(depth=2, hidden_dim=8, epochs=2, seed=3, max_window=96)
+    return TriAD(config).fit(noisy_wave_module)
+
+
+@pytest.fixture(scope="module")
+def noisy_wave_module():
+    rng = np.random.default_rng(12345)
+    t = np.arange(1600)
+    return np.sin(2 * np.pi * t / 40) + 0.05 * rng.standard_normal(len(t))
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_everything(self, fitted_small, noisy_wave_module, tmp_path):
+        path = tmp_path / "triad.npz"
+        save_detector(fitted_small, path)
+        restored = load_detector(path)
+
+        assert restored.config == fitted_small.config
+        assert restored.plan == fitted_small.plan
+        assert restored.train_losses == fitted_small.train_losses
+        assert np.array_equal(restored._train_series, noisy_wave_module)
+
+        windows = np.random.default_rng(0).normal(size=(3, fitted_small.plan.length))
+        a = fitted_small.representations(windows)
+        b = restored.representations(windows)
+        for domain in a:
+            assert np.allclose(a[domain], b[domain], atol=1e-12)
+
+    def test_restored_detector_detects(self, fitted_small, noisy_wave_module, tmp_path):
+        path = tmp_path / "triad.npz"
+        save_detector(fitted_small, path)
+        restored = load_detector(path)
+        test = noisy_wave_module.copy()
+        test[800:840] += 2.0
+        original = fitted_small.detect(test)
+        reloaded = restored.detect(test)
+        assert original.window == reloaded.window
+        assert np.array_equal(original.predictions, reloaded.predictions)
+
+    def test_unfitted_detector_cannot_save(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_detector(TriAD(), tmp_path / "x.npz")
+
+
+def make_result(*discords):
+    return MerlinResult(
+        discords=[Discord(index=i, length=l, distance=d) for i, l, d in discords]
+    )
+
+
+class TestWeightedVotes:
+    def test_normalized_to_unit_interval(self):
+        result = make_result((10, 20, 5.0), (15, 20, 3.0))
+        votes = weighted_votes(100, (5, 40), result, search_offset=0)
+        assert votes.max() == pytest.approx(1.0)
+        assert votes.min() >= 0.0
+
+    def test_stronger_discord_gets_more_weight(self):
+        # Same length, different distances, disjoint spans.
+        result = make_result((0, 10, 6.0), (50, 10, 2.0))
+        votes = weighted_votes(100, (90, 95), result, search_offset=0)
+        assert votes[5] > votes[55]
+
+    def test_window_weight_scales(self):
+        result = make_result((0, 10, 1.0))
+        heavy = weighted_votes(100, (50, 60), result, 0, window_weight=5.0)
+        light = weighted_votes(100, (50, 60), result, 0, window_weight=0.5)
+        # With a heavy window weight the window region dominates.
+        assert heavy[55] == pytest.approx(1.0)
+        assert light[55] < 1.0
+
+    def test_no_discords(self):
+        votes = weighted_votes(50, (10, 20), make_result(), 0)
+        assert votes[10:20].max() == pytest.approx(1.0)
+        assert votes[:10].sum() == 0
+
+
+class TestScoreVotesWeighted:
+    def test_exception_still_fires(self):
+        result = make_result((0, 10, 1.0), (2, 10, 1.0))
+        out = score_votes_weighted(100, (50, 70), result, search_offset=0)
+        assert out.exception_applied
+        assert out.predictions[50:70].all()
+
+    def test_predictions_cover_strong_region(self):
+        result = make_result((30, 10, 5.0), (32, 10, 4.9), (60, 10, 0.5))
+        out = score_votes_weighted(100, (25, 45), result, search_offset=0)
+        assert not out.exception_applied
+        assert out.predictions[33:40].any()
+        assert not out.predictions[60:70].any()  # weak discord filtered
+
+    def test_explicit_threshold(self):
+        result = make_result((30, 10, 5.0))
+        out = score_votes_weighted(100, (25, 45), result, 0, threshold=0.99)
+        assert out.threshold == pytest.approx(0.99)
+        assert out.predictions.any()
+
+
+class TestTopZ:
+    def test_nominate_top_windows_count_and_separation(self, fitted_small, noisy_wave_module):
+        test = noisy_wave_module.copy()
+        test[300:340] += 2.0
+        test[1200:1240] -= 2.0
+        nominations = fitted_small.nominate_top_windows(test, z=3)
+        for domain, picks in nominations.items():
+            assert 1 <= len(picks) <= 3
+            starts = [w[0] for w in picks]
+            for i, a in enumerate(starts):
+                for b in starts[i + 1 :]:
+                    assert abs(a - b) >= fitted_small.plan.length
+
+    def test_detect_with_top_z_config(self, noisy_wave_module):
+        config = TriADConfig(
+            depth=1, hidden_dim=4, epochs=1, seed=0, max_window=96, top_z=2
+        )
+        detector = TriAD(config).fit(noisy_wave_module)
+        test = noisy_wave_module.copy()
+        test[700:760] += 2.5
+        detection = detector.detect(test)
+        assert detection.predictions.any()
+
+    def test_weighted_scoring_config(self, noisy_wave_module):
+        config = TriADConfig(
+            depth=1, hidden_dim=4, epochs=1, seed=0, max_window=96, scoring="weighted"
+        )
+        detector = TriAD(config).fit(noisy_wave_module)
+        test = noisy_wave_module.copy()
+        test[700:760] += 2.5
+        detection = detector.detect(test)
+        assert detection.votes.votes.max() <= 1.0 + 1e-12
+        assert detection.predictions.any()
+
+    def test_invalid_config_values(self):
+        with pytest.raises(ValueError):
+            TriADConfig(scoring="fancy")
+        with pytest.raises(ValueError):
+            TriADConfig(top_z=0)

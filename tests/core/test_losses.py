@@ -1,0 +1,116 @@
+"""Contrastive loss tests (Eq. 5-7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.core.losses import inter_domain_loss, intra_domain_loss, total_contrastive_loss
+
+
+def unit_rows(data: np.ndarray) -> np.ndarray:
+    return data / np.linalg.norm(data, axis=1, keepdims=True)
+
+
+@pytest.fixture
+def batch(rng):
+    return unit_rows(rng.normal(size=(6, 20)))
+
+
+class TestIntraDomainLoss:
+    def test_scalar_and_finite(self, batch, rng):
+        aug = unit_rows(rng.normal(size=batch.shape))
+        loss = intra_domain_loss(Tensor(batch), Tensor(aug))
+        assert loss.data.size == 1
+        assert np.isfinite(loss.item())
+
+    def test_lower_when_augmented_far(self, batch):
+        """Pushing augmentations away from originals lowers the loss."""
+        near_aug = unit_rows(batch + 0.01)
+        far_aug = unit_rows(-batch)  # opposite direction = far in cosine
+        loss_near = intra_domain_loss(Tensor(batch), Tensor(near_aug)).item()
+        loss_far = intra_domain_loss(Tensor(batch), Tensor(far_aug)).item()
+        assert loss_far < loss_near
+
+    def test_lower_when_originals_aligned(self, rng):
+        aug = unit_rows(rng.normal(size=(6, 20)))
+        aligned = np.tile(unit_rows(rng.normal(size=(1, 20))), (6, 1))
+        scattered = unit_rows(rng.normal(size=(6, 20)))
+        loss_aligned = intra_domain_loss(Tensor(aligned), Tensor(aug)).item()
+        loss_scattered = intra_domain_loss(Tensor(scattered), Tensor(aug)).item()
+        assert loss_aligned < loss_scattered
+
+    def test_gradients_flow(self, batch, rng):
+        r = Tensor(batch, requires_grad=True)
+        aug = Tensor(unit_rows(rng.normal(size=batch.shape)), requires_grad=True)
+        intra_domain_loss(r, aug).backward()
+        assert r.grad is not None and aug.grad is not None
+        assert np.any(r.grad != 0)
+
+
+class TestInterDomainLoss:
+    def test_scalar_and_finite(self, rng):
+        reps = {
+            d: Tensor(unit_rows(rng.normal(size=(5, 16))))
+            for d in ("temporal", "frequency", "residual")
+        }
+        loss = inter_domain_loss(reps)
+        assert np.isfinite(loss.item())
+
+    def test_single_domain_is_zero(self, batch):
+        loss = inter_domain_loss({"temporal": Tensor(batch)})
+        assert loss.item() == 0.0
+
+    def test_lower_when_domains_disagree(self, rng):
+        base = unit_rows(rng.normal(size=(5, 16)))
+        same = {
+            "temporal": Tensor(base),
+            "frequency": Tensor(base.copy()),
+        }
+        different = {
+            "temporal": Tensor(base),
+            "frequency": Tensor(unit_rows(-base + 0.1 * rng.normal(size=base.shape))),
+        }
+        assert inter_domain_loss(different).item() < inter_domain_loss(same).item()
+
+
+class TestTotalLoss:
+    def _reps(self, rng):
+        originals = {
+            d: Tensor(unit_rows(rng.normal(size=(4, 12))), requires_grad=True)
+            for d in ("temporal", "frequency")
+        }
+        augmented = {
+            d: Tensor(unit_rows(rng.normal(size=(4, 12))))
+            for d in ("temporal", "frequency")
+        }
+        return originals, augmented
+
+    def test_alpha_weighting(self, rng):
+        originals, augmented = self._reps(rng)
+        intra_only = total_contrastive_loss(originals, augmented, alpha=0.0).item()
+        inter_only = total_contrastive_loss(originals, augmented, alpha=1.0).item()
+        mixed = total_contrastive_loss(originals, augmented, alpha=0.4).item()
+        assert mixed == pytest.approx(0.6 * intra_only + 0.4 * inter_only, rel=1e-9)
+
+    def test_ablation_toggles(self, rng):
+        originals, augmented = self._reps(rng)
+        no_inter = total_contrastive_loss(
+            originals, augmented, alpha=0.4, use_inter=False
+        ).item()
+        full = total_contrastive_loss(originals, augmented, alpha=0.4).item()
+        assert no_inter != full
+
+    def test_both_disabled_raises(self, rng):
+        originals, augmented = self._reps(rng)
+        with pytest.raises(ValueError):
+            total_contrastive_loss(
+                originals, augmented, use_intra=False, use_inter=False
+            )
+
+    def test_gradients_flow_through_total(self, rng):
+        originals, augmented = self._reps(rng)
+        total_contrastive_loss(originals, augmented).backward()
+        for r in originals.values():
+            assert r.grad is not None

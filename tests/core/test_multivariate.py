@@ -1,0 +1,86 @@
+"""Tests for MultivariateTriAD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TriADConfig
+from repro.core import MultivariateTriAD
+from repro.data import make_multivariate_dataset
+
+
+@pytest.fixture(scope="module")
+def mv_run():
+    ds = make_multivariate_dataset(
+        channels=3,
+        affected=2,
+        train_length=1200,
+        test_length=1500,
+        period=48,
+        anomaly_type="noise",
+        anomaly_start=800,
+        anomaly_length=80,
+        seed=3,
+    )
+    config = TriADConfig(depth=2, hidden_dim=8, epochs=2, seed=0, max_window=128)
+    detector = MultivariateTriAD(config).fit(ds)
+    detection = detector.detect(ds)
+    return ds, detector, detection
+
+
+class TestMultivariateTriAD:
+    def test_one_detector_per_channel(self, mv_run):
+        ds, detector, _ = mv_run
+        assert len(detector.detectors) == ds.channels
+        seeds = {d.config.seed for d in detector.detectors}
+        assert len(seeds) == ds.channels  # independent initializations
+
+    def test_detection_shapes(self, mv_run):
+        ds, _, detection = mv_run
+        assert detection.predictions.shape == ds.labels.shape
+        assert detection.channel_votes.shape == (ds.channels, ds.test.shape[1])
+        assert len(detection.channel_detections) == ds.channels
+
+    def test_pooled_prediction_nonempty(self, mv_run):
+        _, _, detection = mv_run
+        assert detection.predictions.any()
+
+    def test_channels_flagging_counts(self, mv_run):
+        _, _, detection = mv_run
+        counts = detection.channels_flagging
+        assert counts.max() <= detection.channel_votes.shape[0]
+        assert np.array_equal(counts, detection.channel_votes.sum(axis=0))
+
+    def test_implicated_channels_subset(self, mv_run):
+        ds, _, detection = mv_run
+        start, end = ds.anomaly_interval
+        implicated = detection.implicated_channels(start - 100, end + 100)
+        assert set(implicated) <= set(range(ds.channels))
+
+    def test_detect_before_fit_raises(self, mv_run):
+        ds, _, _ = mv_run
+        with pytest.raises(RuntimeError):
+            MultivariateTriAD().detect(ds)
+
+    def test_channel_count_mismatch_raises(self, mv_run):
+        ds, detector, _ = mv_run
+        with pytest.raises(ValueError):
+            detector.detect(ds.test[:2])
+
+    def test_min_channels_validation(self):
+        with pytest.raises(ValueError):
+            MultivariateTriAD(min_channels=0)
+
+    def test_min_channels_two_is_stricter(self, mv_run):
+        ds, detector, detection_one = mv_run
+        strict = MultivariateTriAD(detector.config, min_channels=2)
+        strict.detectors = detector.detectors  # reuse trained channels
+        detection_two = strict.detect(ds)
+        assert detection_two.predictions.sum() <= detection_one.predictions.sum() or (
+            not (detection_two.channel_votes.sum(axis=0) >= 2).any()
+        )
+
+    def test_predict_matches_detect(self, mv_run):
+        ds, detector, detection = mv_run
+        assert np.array_equal(detector.predict(ds), detection.predictions)

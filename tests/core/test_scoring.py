@@ -1,0 +1,87 @@
+"""Voting and discord-fail exception tests (Eq. 8, Sec. IV-G)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import accumulate_votes, score_votes, threshold_votes
+from repro.discord.brute import Discord
+from repro.discord.merlin import MerlinResult
+
+
+def merlin_result(*discords: tuple[int, int]) -> MerlinResult:
+    """Build a MerlinResult from (index, length) pairs."""
+    return MerlinResult(
+        discords=[Discord(index=i, length=l, distance=1.0) for i, l in discords]
+    )
+
+
+class TestAccumulateVotes:
+    def test_window_vote(self):
+        votes = accumulate_votes(100, (20, 40), merlin_result(), search_offset=0)
+        assert votes[20:40].sum() == 20
+        assert votes[:20].sum() == 0
+
+    def test_discord_votes_stack(self):
+        result = merlin_result((5, 10), (8, 10))
+        votes = accumulate_votes(100, (0, 1), result, search_offset=0)
+        assert votes[9] == 2.0  # covered by both discords
+        assert votes[5] == 1.0
+
+    def test_search_offset_applied(self):
+        result = merlin_result((0, 10))
+        votes = accumulate_votes(100, (90, 95), result, search_offset=50)
+        assert votes[50:60].sum() == 10
+
+    def test_clipping_at_boundaries(self):
+        result = merlin_result((95, 20))
+        votes = accumulate_votes(100, (0, 1), result, search_offset=0)
+        assert votes[95:].sum() == 5  # clipped at the series end
+
+
+class TestThresholdVotes:
+    def test_mean_of_voted(self):
+        votes = np.array([0, 0, 1, 1, 3, 0])
+        assert threshold_votes(votes) == pytest.approx(5 / 3)
+
+    def test_percentile_mode(self):
+        votes = np.array([0.0, 1, 2, 3, 4, 5])
+        assert threshold_votes(votes, percentile=90) > threshold_votes(votes, percentile=10)
+
+    def test_no_votes(self):
+        assert threshold_votes(np.zeros(5)) == 0.0
+
+
+class TestScoreVotes:
+    def test_high_vote_region_predicted(self):
+        # Discords pile up on [30, 40); window covers [25, 45).
+        result = merlin_result((30, 10), (31, 10), (32, 8))
+        out = score_votes(100, (25, 45), result, search_offset=0)
+        assert not out.exception_applied
+        assert out.predictions[33:38].all()
+        assert out.predictions[:25].sum() == 0
+
+    def test_exception_fires_when_discords_outside_window(self):
+        """All discord mass on the padding -> predict the whole window."""
+        result = merlin_result((0, 10), (2, 10))
+        out = score_votes(100, (50, 70), result, search_offset=0)
+        assert out.exception_applied
+        assert out.predictions[50:70].all()
+        assert out.predictions.sum() == 20
+
+    def test_exception_respects_fraction(self):
+        # Half the mass inside: no exception at the 5% default.
+        result = merlin_result((55, 10), (0, 10))
+        out = score_votes(100, (50, 70), result, search_offset=0)
+        assert not out.exception_applied
+
+    def test_no_discords_no_exception_window_predicted(self):
+        out = score_votes(100, (50, 70), merlin_result(), search_offset=0)
+        assert not out.exception_applied
+        assert out.predictions.any()
+
+    def test_predictions_never_empty(self):
+        result = merlin_result((10, 5))
+        out = score_votes(100, (50, 70), result, search_offset=0)
+        assert out.predictions.any()

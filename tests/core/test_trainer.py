@@ -1,0 +1,56 @@
+"""Training loop tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TriADConfig, train_encoder
+
+
+@pytest.fixture
+def fast_config():
+    return TriADConfig(depth=2, hidden_dim=8, epochs=3, seed=0, max_window=128)
+
+
+class TestTrainEncoder:
+    def test_returns_plan_and_losses(self, noisy_wave, fast_config):
+        result = train_encoder(noisy_wave, fast_config)
+        assert len(result.train_losses) == 3
+        assert len(result.val_losses) == 3
+        assert result.plan.length <= 128
+        assert all(np.isfinite(l) for l in result.train_losses)
+
+    def test_loss_decreases(self, noisy_wave):
+        config = TriADConfig(depth=2, hidden_dim=8, epochs=6, seed=1, max_window=128)
+        result = train_encoder(noisy_wave, config)
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_reproducible_given_seed(self, noisy_wave, fast_config):
+        a = train_encoder(noisy_wave, fast_config)
+        b = train_encoder(noisy_wave, fast_config)
+        assert a.train_losses == b.train_losses
+        for (name_a, p_a), (name_b, p_b) in zip(
+            a.encoder.named_parameters(), b.encoder.named_parameters()
+        ):
+            assert name_a == name_b
+            assert np.allclose(p_a.data, p_b.data)
+
+    def test_different_seeds_differ(self, noisy_wave, fast_config):
+        a = train_encoder(noisy_wave, fast_config)
+        b = train_encoder(noisy_wave, fast_config.with_overrides(seed=7))
+        assert a.train_losses != b.train_losses
+
+    def test_encoder_left_in_eval_mode(self, noisy_wave, fast_config):
+        result = train_encoder(noisy_wave, fast_config)
+        assert not result.encoder.training
+
+    def test_ablated_domains_trainable(self, noisy_wave, fast_config):
+        config = fast_config.with_overrides(domains=("temporal", "frequency"))
+        result = train_encoder(noisy_wave, config)
+        assert np.isfinite(result.train_losses[-1])
+
+    def test_intra_only_trainable(self, noisy_wave, fast_config):
+        config = fast_config.with_overrides(use_inter=False)
+        result = train_encoder(noisy_wave, config)
+        assert np.isfinite(result.train_losses[-1])

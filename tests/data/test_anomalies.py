@@ -1,0 +1,90 @@
+"""Anomaly injector tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ANOMALY_INJECTORS, generate_base, inject_anomaly, list_anomaly_types
+
+
+@pytest.fixture
+def base_series():
+    return generate_base("harmonics", 1000, 40, np.random.default_rng(2), noise_level=0.02)
+
+
+class TestInjectAnomaly:
+    def test_registry_contents(self):
+        assert set(list_anomaly_types()) == {
+            "noise",
+            "duration",
+            "seasonal",
+            "trend",
+            "level_shift",
+            "contextual",
+            "point",
+        }
+
+    @pytest.mark.parametrize("anomaly_type", sorted(ANOMALY_INJECTORS))
+    def test_only_segment_modified(self, base_series, anomaly_type):
+        rng = np.random.default_rng(5)
+        out = inject_anomaly(base_series, anomaly_type, 400, 80, 40, rng)
+        assert np.array_equal(out[:400], base_series[:400])
+        assert np.array_equal(out[480:], base_series[480:])
+        assert not np.array_equal(out[400:480], base_series[400:480])
+
+    @pytest.mark.parametrize("anomaly_type", sorted(ANOMALY_INJECTORS))
+    def test_original_untouched(self, base_series, anomaly_type):
+        copy = base_series.copy()
+        inject_anomaly(base_series, anomaly_type, 100, 50, 40, np.random.default_rng(0))
+        assert np.array_equal(base_series, copy)
+
+    def test_unknown_type_raises(self, base_series):
+        with pytest.raises(KeyError):
+            inject_anomaly(base_series, "alien", 0, 10, 40, np.random.default_rng(0))
+
+    def test_out_of_range_raises(self, base_series):
+        with pytest.raises(ValueError):
+            inject_anomaly(base_series, "noise", 990, 20, 40, np.random.default_rng(0))
+
+    def test_level_shift_moves_mean(self, base_series):
+        out = inject_anomaly(base_series, "level_shift", 300, 100, 40, np.random.default_rng(1))
+        shift = abs(out[300:400].mean() - base_series[300:400].mean())
+        assert shift > 0.5 * base_series.std()
+
+    def test_noise_raises_local_variance(self, base_series):
+        out = inject_anomaly(base_series, "noise", 300, 100, 40, np.random.default_rng(1))
+        added = out[300:400] - base_series[300:400]
+        assert added.std() > 0.5 * base_series.std()
+
+    def test_duration_flattens_segment(self, base_series):
+        out = inject_anomaly(base_series, "duration", 300, 100, 40, np.random.default_rng(1))
+        assert out[300:400].std() < 0.2 * base_series[300:400].std()
+
+    def test_trend_is_monotonic_ramp(self, base_series):
+        out = inject_anomaly(base_series, "trend", 300, 100, 40, np.random.default_rng(1))
+        added = out[300:400] - base_series[300:400]
+        diffs = np.diff(added)
+        assert np.all(diffs > 0) or np.all(diffs < 0)
+
+    def test_point_preserves_all_but_spikes(self, base_series):
+        out = inject_anomaly(base_series, "point", 300, 100, 40, np.random.default_rng(1))
+        changed = np.flatnonzero(out != base_series)
+        assert 1 <= len(changed) <= 3
+        assert np.all((changed >= 300) & (changed < 400))
+
+    def test_contextual_is_subtle(self, base_series):
+        """Contextual distortion keeps amplitude/level roughly intact."""
+        out = inject_anomaly(base_series, "contextual", 300, 100, 40, np.random.default_rng(1))
+        assert abs(out[300:400].mean() - base_series[300:400].mean()) < 0.5 * base_series.std()
+        assert np.abs(out[300:400]).max() <= np.abs(base_series[300:400]).max() * 1.5
+
+    def test_seasonal_doubles_local_frequency(self):
+        t = np.arange(1000)
+        series = np.sin(2 * np.pi * t / 50)
+        out = inject_anomaly(series, "seasonal", 400, 200, 50, np.random.default_rng(0))
+        segment = out[400:600]
+        spectrum = np.abs(np.fft.rfft(segment - segment.mean()))
+        dominant = int(np.argmax(spectrum[1:]) + 1)
+        # 200 points at period 25 -> 8 cycles (vs 4 for the normal signal).
+        assert dominant == 8

@@ -1,0 +1,96 @@
+"""Synthetic archive tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import anomaly_length_distribution, make_archive, make_dataset
+from repro.data.spec import DatasetSpec
+
+
+class TestMakeDataset:
+    def test_splits_and_labels(self, small_dataset):
+        ds = small_dataset
+        assert len(ds.train) == ds.spec.train_length
+        assert len(ds.test) == ds.spec.test_length
+        assert ds.labels.sum() == ds.spec.anomaly_length
+        assert ds.anomaly_interval == (
+            ds.spec.anomaly_start,
+            ds.spec.anomaly_start + ds.spec.anomaly_length,
+        )
+
+    def test_train_is_anomaly_free_continuation(self):
+        """Normal test regions come from the same process as training."""
+        spec = DatasetSpec(
+            name="x",
+            family="sine",
+            period=25,
+            train_length=500,
+            test_length=500,
+            anomaly_type="noise",
+            anomaly_start=200,
+            anomaly_length=50,
+            noise_level=0.0,
+            seed=0,
+        )
+        ds = make_dataset(spec)
+        # With zero noise, normal test points continue the exact waveform.
+        assert np.std(ds.test[:100]) > 0
+        assert abs(ds.train.std() - ds.test[:100].std()) < 0.1
+
+    def test_reproducible_given_spec(self, small_dataset):
+        again = make_dataset(small_dataset.spec)
+        assert np.array_equal(again.train, small_dataset.train)
+        assert np.array_equal(again.test, small_dataset.test)
+
+
+class TestMakeArchive:
+    def test_size_and_uniqueness(self):
+        archive = make_archive(size=10, seed=1, train_length=600, test_length=800)
+        assert len(archive) == 10
+        assert len({ds.name for ds in archive}) == 10
+
+    def test_reproducible(self):
+        a = make_archive(size=4, seed=2, train_length=600, test_length=800)
+        b = make_archive(size=4, seed=2, train_length=600, test_length=800)
+        for x, y in zip(a, b):
+            assert x.name == y.name
+            assert np.array_equal(x.test, y.test)
+
+    def test_single_event_per_dataset(self):
+        for ds in make_archive(size=8, seed=3, train_length=600, test_length=800):
+            assert len(ds.events()) == 1
+
+    def test_families_and_types_cycle(self):
+        archive = make_archive(size=12, seed=4, train_length=600, test_length=800)
+        families = {ds.spec.family for ds in archive}
+        types = {ds.spec.anomaly_type for ds in archive}
+        assert len(families) == 6
+        assert len(types) == 6  # point excluded by default
+
+    def test_point_type_excluded_by_default(self):
+        archive = make_archive(size=14, seed=5, train_length=600, test_length=800)
+        assert all(ds.spec.anomaly_type != "point" for ds in archive)
+
+    def test_custom_types(self):
+        archive = make_archive(
+            size=4, seed=6, train_length=600, test_length=800, anomaly_types=["noise"]
+        )
+        assert all(ds.spec.anomaly_type == "noise" for ds in archive)
+
+    def test_anomaly_lengths_vary(self):
+        archive = make_archive(size=15, seed=7, train_length=600, test_length=800)
+        lengths = {ds.anomaly_length for ds in archive}
+        assert len(lengths) > 5
+
+
+class TestLengthDistribution:
+    def test_fractions_sum_to_one(self):
+        archive = make_archive(size=20, seed=8, train_length=600, test_length=800)
+        dist = anomaly_length_distribution(archive)
+        assert pytest.approx(sum(dist.values())) == 1.0
+
+    def test_bucket_names(self):
+        dist = anomaly_length_distribution([])
+        assert list(dist) == ["<16", "16-63", "64-127", "128-255", "256-511", ">=512"]

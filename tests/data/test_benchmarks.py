@@ -1,0 +1,72 @@
+"""Tests for the Yahoo/NASA-style flawed-benchmark simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_nasa_dataset, make_yahoo_dataset
+from repro.metrics import affiliation_metrics, f1_score
+from repro.signal import robust_zscore
+
+
+class TestYahoo:
+    def test_dense_explicit_anomalies(self):
+        ds = make_yahoo_dataset(events=12, seed=0)
+        events = ds.events()
+        assert len(events) >= 8  # unrealistic density preserved
+        assert all(end - start <= 3 for start, end in events)
+
+    def test_one_liner_detectable(self):
+        """Every event crosses a plain robust-z threshold (triviality)."""
+        ds = make_yahoo_dataset(seed=1)
+        flagged = np.abs(robust_zscore(ds.test)) > 3.5
+        for start, end in ds.events():
+            assert flagged[start:end].any(), (start, end)
+
+    def test_train_clean(self):
+        ds = make_yahoo_dataset(seed=2)
+        assert np.abs(robust_zscore(ds.train)).max() < 5.0
+
+    def test_reproducible(self):
+        assert np.array_equal(
+            make_yahoo_dataset(seed=3).test, make_yahoo_dataset(seed=3).test
+        )
+
+
+class TestNasa:
+    def test_single_regime_anomaly(self):
+        ds = make_nasa_dataset(seed=0)
+        events = ds.events()
+        assert len(events) == 1
+        start, end = events[0]
+        assert end - start == 150
+
+    def test_anomaly_is_a_drift(self):
+        ds = make_nasa_dataset(seed=1)
+        start, end = ds.anomaly_interval
+        segment = ds.test[start:end]
+        slope = np.polyfit(np.arange(len(segment)), segment, 1)[0]
+        assert slope > 0.005  # ramping regime
+
+    def test_label_offset_creates_mislabeling(self):
+        """With offset labels, a perfect detector of the TRUE event is
+        punished — the mislabeled-ground-truth pathology."""
+        clean = make_nasa_dataset(seed=4, label_offset=0)
+        shifted = make_nasa_dataset(seed=4, label_offset=200)
+        # Identical data; only labels moved.
+        assert np.array_equal(clean.test, shifted.test)
+        true_event = clean.labels
+        f1_against_clean = f1_score(true_event, clean.labels)
+        f1_against_shifted = f1_score(true_event, shifted.labels)
+        assert f1_against_clean == 1.0
+        assert f1_against_shifted < 0.6
+        # Affiliation partially forgives the offset — exactly why the
+        # paper pairs PA%K with an event-distance metric.
+        affiliation = affiliation_metrics(true_event, shifted.labels)
+        assert affiliation.f1 > f1_against_shifted
+
+    def test_reproducible(self):
+        assert np.array_equal(
+            make_nasa_dataset(seed=5).test, make_nasa_dataset(seed=5).test
+        )

@@ -1,0 +1,55 @@
+"""Signal family generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import FAMILIES, generate_base, list_families
+from repro.signal import autocorrelation
+
+
+class TestFamilies:
+    def test_registry_contents(self):
+        assert set(list_families()) == {"sine", "harmonics", "ecg", "sawtooth", "am", "square"}
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_output_shape_and_finiteness(self, family, rng):
+        x = generate_base(family, 500, 40, rng)
+        assert x.shape == (500,)
+        assert np.all(np.isfinite(x))
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_periodicity(self, family):
+        """Every family should autocorrelate strongly at its period."""
+        rng = np.random.default_rng(0)
+        period = 50
+        x = generate_base(family, 2000, period, rng, noise_level=0.01)
+        acf = autocorrelation(x)
+        assert acf[period] > 0.5, f"{family} acf[{period}]={acf[period]:.2f}"
+
+    def test_noise_level_scales_noise(self):
+        quiet = generate_base("sine", 1000, 40, np.random.default_rng(1), noise_level=0.0)
+        noisy = generate_base("sine", 1000, 40, np.random.default_rng(1), noise_level=0.5)
+        assert noisy.std() > quiet.std()
+
+    def test_unknown_family_raises(self, rng):
+        with pytest.raises(KeyError):
+            generate_base("nope", 100, 10, rng)
+
+    def test_deterministic_given_rng_seed(self):
+        a = generate_base("ecg", 300, 30, np.random.default_rng(9))
+        b = generate_base("ecg", 300, 30, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+    def test_ecg_has_secondary_peak_structure(self):
+        """The ECG family must show two peaks per cycle (case-study morphology)."""
+        x = generate_base("ecg", 400, 100, np.random.default_rng(3), noise_level=0.0)
+        cycle = x[100:200]
+        # Count local maxima above the baseline.
+        peaks = [
+            i
+            for i in range(1, 99)
+            if cycle[i] > cycle[i - 1] and cycle[i] > cycle[i + 1] and cycle[i] > 0.15
+        ]
+        assert len(peaks) >= 2

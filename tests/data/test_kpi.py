@@ -1,0 +1,56 @@
+"""Tests for KPI/SWaT-style one-liner streams."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import make_kpi_dataset, make_swat_dataset
+from repro.signal import robust_zscore
+
+
+class TestKpiDataset:
+    def test_shapes_and_split(self):
+        ds = make_kpi_dataset(length=4000, train_fraction=0.5, seed=0)
+        assert len(ds.train) == 2000
+        assert len(ds.test) == 2000
+        assert len(ds.labels) == 2000
+
+    def test_multiple_events(self):
+        ds = make_kpi_dataset(events=8, seed=1)
+        assert len(ds.events()) >= 4  # some may merge if adjacent
+
+    def test_train_half_clean(self):
+        ds = make_kpi_dataset(seed=2)
+        assert np.abs(robust_zscore(ds.train)).max() < 6.0
+
+    def test_anomalies_are_one_liner_detectable(self):
+        """The whole point: a robust z-score threshold finds the events."""
+        ds = make_kpi_dataset(seed=3)
+        scores = np.abs(robust_zscore(ds.test))
+        flagged = scores > 5.0
+        for start, end in ds.events():
+            assert flagged[start:end].any(), (start, end)
+
+    def test_reproducible(self):
+        a = make_kpi_dataset(seed=4)
+        b = make_kpi_dataset(seed=4)
+        assert np.array_equal(a.test, b.test)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestSwatDataset:
+    def test_long_saturation_events(self):
+        ds = make_swat_dataset(seed=0)
+        for start, end in ds.events():
+            assert end - start >= 50
+            assert ds.test[start:end].mean() > 2.0  # pinned to extreme value
+
+    def test_labels_cover_events_only(self):
+        ds = make_swat_dataset(seed=1)
+        normal = ds.test[ds.labels == 0]
+        assert np.abs(normal).max() < 3.0
+
+    def test_reproducible(self):
+        a = make_swat_dataset(seed=2)
+        b = make_swat_dataset(seed=2)
+        assert np.array_equal(a.test, b.test)

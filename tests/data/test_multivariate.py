@@ -1,0 +1,85 @@
+"""Tests for the multivariate dataset substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import MultivariateDataset, make_multivariate_dataset
+
+
+class TestMakeMultivariateDataset:
+    def test_shapes(self):
+        ds = make_multivariate_dataset(
+            channels=4, train_length=600, test_length=800, seed=0
+        )
+        assert ds.train.shape == (4, 600)
+        assert ds.test.shape == (4, 800)
+        assert ds.labels.shape == (800,)
+        assert ds.channels == 4
+
+    def test_affected_channels_differ_from_clean_twin(self):
+        """Same seed, affected=0 vs 2: only the affected channels change,
+        and only inside the anomaly window."""
+        kwargs = dict(
+            channels=4,
+            train_length=600,
+            test_length=800,
+            anomaly_start=400,
+            anomaly_length=60,
+            anomaly_type="noise",
+            seed=1,
+        )
+        clean = make_multivariate_dataset(affected=1, **kwargs)
+        dirty = make_multivariate_dataset(affected=2, **kwargs)
+        # Channel 0 is injected in both; channel 1 only in `dirty`.
+        assert np.array_equal(clean.test[2], dirty.test[2])
+        assert np.array_equal(clean.test[3], dirty.test[3])
+        assert not np.array_equal(clean.test[1], dirty.test[1])
+        start, end = dirty.anomaly_interval
+        # Differences confined to the anomaly window.
+        assert np.array_equal(clean.test[1, :start], dirty.test[1, :start])
+        assert np.array_equal(clean.test[1, end:], dirty.test[1, end:])
+
+    def test_channels_are_correlated(self):
+        ds = make_multivariate_dataset(channels=3, coupling=0.8, seed=2,
+                                       train_length=1000, test_length=500)
+        corr = np.corrcoef(ds.train)
+        off_diagonal = corr[np.triu_indices(3, k=1)]
+        assert np.all(off_diagonal > 0.3)
+
+    def test_invalid_affected(self):
+        with pytest.raises(ValueError):
+            make_multivariate_dataset(channels=2, affected=3)
+
+    def test_channel_accessor(self):
+        ds = make_multivariate_dataset(channels=2, train_length=500, test_length=600)
+        train, test = ds.channel(1)
+        assert np.array_equal(train, ds.train[1])
+        assert np.array_equal(test, ds.test[1])
+
+    def test_reproducible(self):
+        a = make_multivariate_dataset(seed=5, train_length=500, test_length=600)
+        b = make_multivariate_dataset(seed=5, train_length=500, test_length=600)
+        assert np.array_equal(a.test, b.test)
+
+
+class TestMultivariateDataset:
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MultivariateDataset(
+                "x", np.zeros((2, 10)), np.zeros((3, 10)), np.zeros(10, dtype=int)
+            )
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MultivariateDataset(
+                "x", np.zeros((2, 10)), np.zeros((2, 10)), np.zeros(9, dtype=int)
+            )
+
+    def test_no_anomaly_raises(self):
+        ds = MultivariateDataset(
+            "x", np.zeros((1, 10)), np.zeros((1, 10)), np.zeros(10, dtype=int)
+        )
+        with pytest.raises(ValueError):
+            _ = ds.anomaly_interval

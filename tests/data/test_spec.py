@@ -1,0 +1,84 @@
+"""Dataset container tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, DatasetSpec
+
+
+def make_spec(**overrides) -> DatasetSpec:
+    defaults = dict(
+        name="d",
+        family="sine",
+        period=20,
+        train_length=200,
+        test_length=300,
+        anomaly_type="noise",
+        anomaly_start=100,
+        anomaly_length=30,
+    )
+    defaults.update(overrides)
+    return DatasetSpec(**defaults)
+
+
+class TestDatasetSpec:
+    def test_valid_spec(self):
+        spec = make_spec()
+        assert spec.anomaly_start + spec.anomaly_length <= spec.test_length
+
+    def test_anomaly_exceeding_test_raises(self):
+        with pytest.raises(ValueError):
+            make_spec(anomaly_start=290, anomaly_length=20)
+
+    def test_negative_start_raises(self):
+        with pytest.raises(ValueError):
+            make_spec(anomaly_start=-1)
+
+    def test_zero_length_raises(self):
+        with pytest.raises(ValueError):
+            make_spec(anomaly_length=0)
+
+    def test_tiny_period_raises(self):
+        with pytest.raises(ValueError):
+            make_spec(period=1)
+
+    def test_frozen(self):
+        spec = make_spec()
+        with pytest.raises(AttributeError):
+            spec.period = 5
+
+
+class TestDataset:
+    def test_anomaly_interval(self):
+        labels = np.zeros(100, dtype=int)
+        labels[40:60] = 1
+        ds = Dataset("x", np.zeros(50), np.zeros(100), labels)
+        assert ds.anomaly_interval == (40, 60)
+        assert ds.anomaly_length == 20
+
+    def test_interval_of_first_event_only(self):
+        labels = np.zeros(100, dtype=int)
+        labels[10:15] = 1
+        labels[50:55] = 1
+        ds = Dataset("x", np.zeros(50), np.zeros(100), labels)
+        assert ds.anomaly_interval == (10, 15)
+
+    def test_events_lists_all(self):
+        labels = np.zeros(100, dtype=int)
+        labels[10:15] = 1
+        labels[50:55] = 1
+        labels[99] = 1
+        ds = Dataset("x", np.zeros(50), np.zeros(100), labels)
+        assert ds.events() == [(10, 15), (50, 55), (99, 100)]
+
+    def test_no_events(self):
+        ds = Dataset("x", np.zeros(50), np.zeros(100), np.zeros(100, dtype=int))
+        assert ds.events() == []
+        with pytest.raises(ValueError):
+            _ = ds.anomaly_interval
+
+    def test_labels_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros(50), np.zeros(100), np.zeros(99, dtype=int))

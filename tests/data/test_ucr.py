@@ -1,0 +1,79 @@
+"""Real-UCR file format loader tests (using generated fixture files)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_ucr_archive, load_ucr_file, parse_ucr_filename
+
+
+class TestParseFilename:
+    def test_standard_name(self):
+        meta = parse_ucr_filename("025_UCR_Anomaly_MARS_5000_5948_5974.txt")
+        assert meta == {
+            "id": 25,
+            "name": "MARS",
+            "train_end": 5000,
+            "start": 5948,
+            "end": 5974,
+        }
+
+    def test_name_with_underscores(self):
+        meta = parse_ucr_filename("001_UCR_Anomaly_ECG_lead_2_3000_4000_4100.txt")
+        assert meta["name"] == "ECG_lead_2"
+        assert meta["train_end"] == 3000
+
+    def test_full_path_accepted(self):
+        meta = parse_ucr_filename("/data/ucr/100_UCR_Anomaly_xyz_10_20_30.txt")
+        assert meta["id"] == 100
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["random.txt", "025_UCR_MARS_5000_5948_5974.txt", "UCR_Anomaly_x_1_2_3.txt"],
+    )
+    def test_invalid_names_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_ucr_filename(bad)
+
+
+@pytest.fixture
+def ucr_dir(tmp_path, rng):
+    """Write a miniature archive in the genuine file format."""
+    for i, (train_end, start, end) in enumerate([(500, 700, 750), (400, 600, 610)]):
+        total = train_end + 500
+        values = np.sin(2 * np.pi * np.arange(total) / 40) + 0.05 * rng.standard_normal(total)
+        values[start - 1 : end] += 3.0  # 1-based inclusive anomaly
+        name = f"{i + 1:03d}_UCR_Anomaly_synth{i}_{train_end}_{start}_{end}.txt"
+        np.savetxt(tmp_path / name, values)
+    (tmp_path / "notes.md").write_text("ignore me")
+    return tmp_path
+
+
+class TestLoadUcr:
+    def test_load_single_file(self, ucr_dir):
+        path = next(ucr_dir.glob("001_*.txt"))
+        ds = load_ucr_file(path)
+        assert len(ds.train) == 500
+        assert len(ds.test) == 500
+        # 1-based [700, 750] inclusive -> 0-based test-relative [199, 250).
+        assert ds.anomaly_interval == (199, 250)
+
+    def test_labels_match_spike(self, ucr_dir):
+        path = next(ucr_dir.glob("001_*.txt"))
+        ds = load_ucr_file(path)
+        start, end = ds.anomaly_interval
+        assert ds.test[start:end].mean() > ds.test[:start].mean() + 1.0
+
+    def test_load_archive_sorted_and_filtered(self, ucr_dir):
+        datasets = load_ucr_archive(ucr_dir)
+        assert [ds.name.split("_")[0] for ds in datasets] == ["001", "002"]
+
+    def test_limit(self, ucr_dir):
+        assert len(load_ucr_archive(ucr_dir, limit=1)) == 1
+
+    def test_bad_train_end_raises(self, tmp_path):
+        name = "001_UCR_Anomaly_x_900_950_960.txt"
+        np.savetxt(tmp_path / name, np.zeros(100))
+        with pytest.raises(ValueError):
+            load_ucr_file(tmp_path / name)

@@ -1,0 +1,66 @@
+"""Tests for DAMP-style left-discord discovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discord import damp, left_matrix_profile
+
+
+@pytest.fixture
+def anomalous_stream(rng):
+    t = np.arange(1200)
+    x = np.sin(2 * np.pi * t / 40) + 0.05 * rng.standard_normal(len(t))
+    x[700:750] += np.sin(2 * np.pi * np.arange(50) / 8) * 1.5
+    return x
+
+
+class TestDamp:
+    def test_matches_exact_left_profile_argmax(self, anomalous_stream):
+        length = 40
+        train_size = 4 * length
+        result = damp(anomalous_stream, length, train_size=train_size)
+        exact = left_matrix_profile(anomalous_stream, length)
+        exact_region = np.where(np.isfinite(exact), exact, -np.inf)
+        exact_region[:train_size] = -np.inf
+        expected_index = int(np.argmax(exact_region))
+        assert result.discord is not None
+        assert result.discord.index == expected_index
+        assert result.discord.distance == pytest.approx(
+            float(exact_region[expected_index]), abs=1e-9
+        )
+
+    def test_discord_lands_on_anomaly(self, anomalous_stream):
+        result = damp(anomalous_stream, 40)
+        assert result.discord is not None
+        assert 650 <= result.discord.index <= 760
+
+    def test_early_abandon_saves_work(self, anomalous_stream):
+        """DAMP must do less distance work than the exhaustive left MP."""
+        length = 40
+        result = damp(anomalous_stream, length)
+        count = len(anomalous_stream) - length + 1
+        exhaustive = sum(max(i - length + 1, 0) for i in range(count))
+        assert result.distances_computed < 0.8 * exhaustive
+
+    def test_profile_upper_bounds_exact(self, anomalous_stream):
+        length = 40
+        result = damp(anomalous_stream, length, train_size=4 * length)
+        exact = left_matrix_profile(anomalous_stream, length)
+        mask = np.isfinite(exact)
+        mask[: 4 * length] = False
+        # DAMP's recorded values never fall below the exact left-NN
+        # distance minus numerical slack (they abandon early, from a
+        # *subset* of the past, so they are upper bounds).
+        assert np.all(result.profile[mask] >= exact[mask] - 1e-9)
+
+    def test_too_short_series(self):
+        result = damp(np.zeros(30), 20)
+        assert result.discord is None
+
+    def test_deterministic(self, anomalous_stream):
+        a = damp(anomalous_stream, 32)
+        b = damp(anomalous_stream, 32)
+        assert a.discord == b.discord
+        assert a.distances_computed == b.distances_computed

@@ -1,0 +1,110 @@
+"""Distance kernel tests, including metric properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.discord import (
+    nearest_neighbor_distances,
+    trivial_match_mask,
+    znorm_distance,
+    znorm_subsequences,
+)
+
+vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.just(16),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+
+
+class TestZnormSubsequences:
+    def test_shape(self, rng):
+        z = znorm_subsequences(rng.normal(size=100), 20)
+        assert z.shape == (81, 20)
+
+    def test_rows_normalized(self, rng):
+        z = znorm_subsequences(rng.normal(size=200) * 5 + 3, 25)
+        assert np.allclose(z.mean(axis=1), 0.0, atol=1e-10)
+        assert np.allclose(z.std(axis=1), 1.0)
+
+    def test_length_too_long_raises(self):
+        with pytest.raises(ValueError):
+            znorm_subsequences(np.zeros(10), 11)
+
+    def test_constant_subsequence_zeroed(self):
+        x = np.concatenate([np.ones(30), np.sin(np.arange(30))])
+        z = znorm_subsequences(x, 10)
+        assert np.allclose(z[0], 0.0)
+
+
+class TestZnormDistance:
+    def test_identical_is_zero(self, rng):
+        x = rng.normal(size=32)
+        assert znorm_distance(x, x) == pytest.approx(0.0, abs=1e-9)
+
+    def test_amplitude_invariance(self, rng):
+        x = rng.normal(size=32)
+        assert znorm_distance(x, 5 * x + 3) == pytest.approx(0.0, abs=1e-9)
+
+    def test_inverted_is_maximal(self, rng):
+        x = rng.normal(size=64)
+        d = znorm_distance(x, -x)
+        assert d == pytest.approx(2 * np.sqrt(len(x)), rel=1e-6)
+
+    @given(vectors, vectors, vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_property_triangle_inequality(self, a, b, c):
+        """z-norm Euclidean distance is a metric on the z-normed points."""
+        dab = znorm_distance(a, b)
+        dbc = znorm_distance(b, c)
+        dac = znorm_distance(a, c)
+        assert dac <= dab + dbc + 1e-6
+
+    @given(vectors, vectors)
+    @settings(max_examples=30, deadline=None)
+    def test_property_symmetry_nonnegativity(self, a, b):
+        assert znorm_distance(a, b) == pytest.approx(znorm_distance(b, a), abs=1e-9)
+        assert znorm_distance(a, b) >= 0
+
+
+class TestTrivialMatchMask:
+    def test_band_structure(self):
+        mask = trivial_match_mask(5, 2)
+        assert mask[0, 0] and mask[0, 1] and not mask[0, 2]
+        assert np.array_equal(mask, mask.T)
+
+
+class TestNearestNeighborDistances:
+    def test_matches_naive_computation(self, rng):
+        x = rng.normal(size=80)
+        length, exclusion = 10, 5
+        fast = nearest_neighbor_distances(x, length, exclusion=exclusion)
+        z = znorm_subsequences(x, length)
+        count = len(z)
+        naive = np.empty(count)
+        for i in range(count):
+            dists = [
+                np.linalg.norm(z[i] - z[j])
+                for j in range(count)
+                if abs(i - j) >= exclusion
+            ]
+            naive[i] = min(dists)
+        assert np.allclose(fast, naive, atol=1e-8)
+
+    def test_chunking_invariance(self, rng):
+        x = rng.normal(size=300)
+        a = nearest_neighbor_distances(x, 16, chunk=7)
+        b = nearest_neighbor_distances(x, 16, chunk=512)
+        assert np.allclose(a, b)
+
+    def test_planted_discord_has_max_distance(self, sine_wave):
+        x = sine_wave.copy()
+        x[500:520] = x[500:520] * -1.0  # inverted cycle = discord
+        profile = nearest_neighbor_distances(x, 25, exclusion=25)
+        peak = int(np.argmax(profile))
+        assert 470 <= peak <= 525

@@ -1,0 +1,65 @@
+"""Tests for motif discovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discord import Motif, top_k_motifs
+
+
+@pytest.fixture
+def motif_series(rng):
+    """Noise with an identical pattern planted twice."""
+    x = rng.normal(size=600) * 0.5
+    pattern = np.sin(np.linspace(0, 4 * np.pi, 40))
+    x[100:140] += pattern * 3
+    x[400:440] += pattern * 3
+    return x
+
+
+class TestTopKMotifs:
+    def test_finds_planted_pair(self, motif_series):
+        motifs = top_k_motifs(motif_series, length=40, k=1)
+        assert len(motifs) == 1
+        motif = motifs[0]
+        assert abs(motif.first - 100) < 8
+        assert abs(motif.second - 400) < 8
+        # Far closer than random 40-point subsequences (~2*sqrt(40) ~ 12.6).
+        assert motif.distance < 4.0
+
+    def test_intervals_property(self, motif_series):
+        motif = top_k_motifs(motif_series, length=40)[0]
+        (a_lo, a_hi), (b_lo, b_hi) = motif.intervals
+        assert a_hi - a_lo == 40
+        assert b_hi - b_lo == 40
+        assert a_lo <= b_lo
+
+    def test_motifs_non_overlapping(self, rng):
+        x = np.sin(2 * np.pi * np.arange(800) / 40) + 0.05 * rng.standard_normal(800)
+        motifs = top_k_motifs(x, length=40, k=3)
+        occupied: list[tuple[int, int]] = []
+        for motif in motifs:
+            for lo, hi in motif.intervals:
+                for prev_lo, prev_hi in occupied:
+                    assert hi <= prev_lo or lo >= prev_hi
+                occupied.append((lo, hi))
+
+    def test_distances_non_decreasing(self, rng):
+        x = np.sin(2 * np.pi * np.arange(800) / 40) + 0.05 * rng.standard_normal(800)
+        motifs = top_k_motifs(x, length=40, k=3)
+        distances = [m.distance for m in motifs]
+        assert distances == sorted(distances)
+
+    def test_motif_beats_discord(self, motif_series):
+        """The motif pair is closer than the series' top discord is to
+        anything — the two ends of the profile."""
+        from repro.discord import brute_force_discord
+
+        motif = top_k_motifs(motif_series, length=40)[0]
+        discord = brute_force_discord(motif_series, 40)
+        assert motif.distance < discord.distance
+
+    def test_invalid_k(self, motif_series):
+        with pytest.raises(ValueError):
+            top_k_motifs(motif_series, length=10, k=0)

@@ -1,0 +1,120 @@
+"""Tests for top-K discords and the streaming (left-profile) detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discord import (
+    StreamingDiscordDetector,
+    brute_force_discord,
+    left_matrix_profile,
+    top_k_discords,
+)
+
+
+@pytest.fixture
+def two_anomaly_series(rng):
+    t = np.arange(1500)
+    x = np.sin(2 * np.pi * t / 50) + 0.04 * rng.standard_normal(len(t))
+    x[400:440] = -x[400:440]  # event 1: inverted cycles
+    x[1000:1040] += np.sin(2 * np.pi * np.arange(40) / 10)  # event 2: fast ripple
+    return x
+
+
+class TestTopKDiscords:
+    def test_k1_matches_brute_force(self, two_anomaly_series):
+        top = top_k_discords(two_anomaly_series, 50, k=1)
+        reference = brute_force_discord(two_anomaly_series, 50, exclusion=50)
+        assert top[0].index == reference.index
+        assert top[0].distance == pytest.approx(reference.distance)
+
+    def test_finds_both_events(self, two_anomaly_series):
+        # Suppress a wide neighborhood so the two picks are distinct
+        # events, not two shoulders of the same one.
+        top = top_k_discords(two_anomaly_series, 50, k=2, suppression=200)
+        assert len(top) == 2
+        centers = sorted(d.index + 25 for d in top)
+        assert abs(centers[0] - 420) < 80
+        assert abs(centers[1] - 1020) < 80
+
+    def test_results_non_overlapping(self, two_anomaly_series):
+        top = top_k_discords(two_anomaly_series, 50, k=5)
+        indices = [d.index for d in top]
+        for i, a in enumerate(indices):
+            for b in indices[i + 1 :]:
+                assert abs(a - b) >= 50
+
+    def test_distances_non_increasing(self, two_anomaly_series):
+        top = top_k_discords(two_anomaly_series, 50, k=4)
+        distances = [d.distance for d in top]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_k_larger_than_possible(self, rng):
+        x = rng.normal(size=120)
+        top = top_k_discords(x, 40, k=10)
+        assert 0 < len(top) <= 2  # only ~2 non-overlapping length-40 slots
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            top_k_discords(rng.normal(size=100), 10, k=0)
+
+
+class TestLeftMatrixProfile:
+    def test_past_only_semantics(self, rng):
+        x = rng.normal(size=200)
+        length = 12
+        profile = left_matrix_profile(x, length)
+        # First `length` entries have no fully-past neighbor.
+        assert np.all(np.isinf(profile[:length]))
+        assert np.all(np.isfinite(profile[length:]))
+
+    def test_manual_check(self, rng):
+        from repro.discord.distance import znorm_subsequences
+
+        x = rng.normal(size=80)
+        length = 10
+        profile = left_matrix_profile(x, length)
+        z = znorm_subsequences(x, length)
+        i = 40
+        expected = min(np.linalg.norm(z[j] - z[i]) for j in range(i - length + 1))
+        assert profile[i] == pytest.approx(expected, abs=1e-9)
+
+    def test_novel_pattern_has_high_left_distance(self, two_anomaly_series):
+        profile = left_matrix_profile(two_anomaly_series[:600], 50)
+        peak = int(np.argmax(np.where(np.isfinite(profile), profile, -np.inf)))
+        assert 350 <= peak <= 450  # the inverted-cycle event
+
+
+class TestStreamingDetector:
+    def test_alerts_on_planted_anomaly(self, two_anomaly_series):
+        detector = StreamingDiscordDetector(length=25, warmup=40, sigma=4.0)
+        for value in two_anomaly_series[:700]:
+            detector.update(value)
+        assert detector.alerts, "no alert raised on a strong anomaly"
+        first = detector.alerts[0]
+        assert 350 <= first.index <= 460
+
+    def test_quiet_on_clean_periodic_data(self, sine_wave):
+        detector = StreamingDiscordDetector(length=25, warmup=40, sigma=6.0)
+        for value in sine_wave:
+            detector.update(value)
+        assert len(detector.alerts) == 0
+
+    def test_points_seen_counter(self):
+        detector = StreamingDiscordDetector(length=5, warmup=5)
+        for value in range(42):
+            detector.update(float(value))
+        assert detector.points_seen == 42
+
+    def test_max_history_bounds_memory(self, rng):
+        detector = StreamingDiscordDetector(length=5, warmup=5, max_history=50)
+        for value in rng.normal(size=500):
+            detector.update(float(value))
+        assert len(detector._history) <= 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingDiscordDetector(length=1)
+        with pytest.raises(ValueError):
+            StreamingDiscordDetector(length=5, warmup=1)

@@ -1,0 +1,53 @@
+"""Tests for the markdown report builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import build_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "table2_pa_inflation.txt").write_text("Table II content\nrow | row")
+    (tmp_path / "fig6_length_dist.txt").write_text("Fig 6 content")
+    (tmp_path / "custom_extra.txt").write_text("extra artifact")
+    return tmp_path
+
+
+class TestBuildReport:
+    def test_groups_by_experiment(self, results_dir):
+        report = build_report(results_dir)
+        assert "# Benchmark results" in report
+        assert "## Table II" in report
+        assert "Table II content" in report
+        assert "## Fig. 6" in report
+
+    def test_unknown_artifacts_in_additional_section(self, results_dir):
+        report = build_report(results_dir)
+        assert "## Additional results" in report
+        assert "extra artifact" in report
+
+    def test_artifacts_fenced(self, results_dir):
+        report = build_report(results_dir)
+        assert report.count("```") % 2 == 0
+        assert report.count("```") >= 6
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_report(tmp_path)
+
+    def test_write_report(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "report.md")
+        assert out.exists()
+        assert "Table II content" in out.read_text()
+
+    def test_real_results_if_present(self):
+        """When the benches have run, the real results build cleanly."""
+        import pathlib
+
+        real = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+        if not real.is_dir() or not list(real.glob("*.txt")):
+            pytest.skip("benchmarks have not produced artifacts yet")
+        report = build_report(real)
+        assert "Table III" in report

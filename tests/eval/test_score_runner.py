@@ -1,0 +1,77 @@
+"""Tests for the score-based archive runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_archive
+from repro.eval import (
+    SCORE_METRIC_NAMES,
+    evaluate_scores,
+    run_scores_on_archive,
+)
+
+
+class OracleScorer:
+    """Scores equal to the labels (plus tiny noise to break ties)."""
+
+    def __init__(self, archive):
+        self._archive = archive
+
+    def fit(self, train_series):
+        return self
+
+    def score_series(self, test_series):
+        for ds in self._archive:
+            if len(ds.test) == len(test_series) and np.allclose(ds.test, test_series):
+                rng = np.random.default_rng(0)
+                return ds.labels + 1e-6 * rng.random(len(ds.labels))
+        raise AssertionError("unknown test series")
+
+
+class TestEvaluateScores:
+    def test_metric_names(self, small_dataset):
+        metrics = evaluate_scores(
+            small_dataset.labels.astype(float), small_dataset.labels
+        )
+        assert set(metrics) == set(SCORE_METRIC_NAMES)
+
+    def test_perfect_scores(self, small_dataset):
+        metrics = evaluate_scores(
+            small_dataset.labels.astype(float), small_dataset.labels
+        )
+        assert metrics["roc_auc"] == pytest.approx(1.0)
+        assert metrics["pr_auc"] == pytest.approx(1.0)
+        assert metrics["best_f1"] == pytest.approx(1.0)
+
+    def test_random_scores_midline(self, small_dataset, rng):
+        metrics = evaluate_scores(rng.random(len(small_dataset.test)), small_dataset.labels)
+        assert 0.2 < metrics["roc_auc"] < 0.8
+
+
+class TestRunScoresOnArchive:
+    @pytest.fixture(scope="class")
+    def archive(self):
+        return make_archive(size=3, seed=2, train_length=400, test_length=500)
+
+    def test_oracle_perfect(self, archive):
+        agg = run_scores_on_archive("oracle", lambda s: OracleScorer(archive), archive)
+        assert agg.mean["roc_auc"] == pytest.approx(1.0)
+        assert agg.std["roc_auc"] == pytest.approx(0.0)
+        assert len(agg.per_run) == 3
+
+    def test_row_with_score_metrics(self, archive):
+        agg = run_scores_on_archive("oracle", lambda s: OracleScorer(archive), archive)
+        row = agg.row(metrics=SCORE_METRIC_NAMES)
+        assert row[0] == "oracle"
+        assert len(row) == 1 + len(SCORE_METRIC_NAMES)
+
+    def test_real_detector_runs(self, archive):
+        from repro.baselines import OneLinerDetector
+
+        agg = run_scores_on_archive(
+            "one-liner", lambda s: OneLinerDetector(), archive, seeds=(0, 1)
+        )
+        assert {r.seed for r in agg.per_run} == {0, 1}
+        assert 0.0 <= agg.mean["roc_auc"] <= 1.0

@@ -1,0 +1,83 @@
+"""Tests for the grid-search tuning helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TriADConfig
+from repro.data import make_archive
+from repro.eval import grid_search, tri_window_accuracy
+from repro.eval.tuning import pak_f1_score
+
+
+@pytest.fixture(scope="module")
+def tiny_archive():
+    return make_archive(size=2, seed=13, train_length=900, test_length=1100)
+
+
+@pytest.fixture(scope="module")
+def base_config():
+    return TriADConfig(depth=1, hidden_dim=4, epochs=1, max_window=96, seed=0)
+
+
+class TestGridSearch:
+    def test_sweeps_all_combinations(self, tiny_archive, base_config):
+        result = grid_search(
+            tiny_archive,
+            {"alpha": [0.2, 0.6], "temperature": [0.2, 0.5]},
+            base_config=base_config,
+        )
+        assert len(result.points) == 4
+        combos = {p.overrides for p in result.points}
+        assert (("alpha", 0.2), ("temperature", 0.5)) in combos
+
+    def test_points_sorted_best_first(self, tiny_archive, base_config):
+        result = grid_search(tiny_archive, {"alpha": [0.2, 0.8]}, base_config=base_config)
+        scores = [p.score for p in result.points]
+        assert scores == sorted(scores, reverse=True)
+        assert result.best_score == scores[0]
+
+    def test_best_config_carries_overrides(self, tiny_archive, base_config):
+        result = grid_search(tiny_archive, {"depth": [1, 2]}, base_config=base_config)
+        assert result.best_config.depth in (1, 2)
+        assert result.best_config.hidden_dim == base_config.hidden_dim
+
+    def test_empty_grid_rejected(self, tiny_archive, base_config):
+        with pytest.raises(ValueError):
+            grid_search(tiny_archive, {}, base_config=base_config)
+
+    def test_table_rows(self, tiny_archive, base_config):
+        result = grid_search(tiny_archive, {"alpha": [0.4]}, base_config=base_config)
+        rows = result.table_rows()
+        assert rows[0][0] == "alpha=0.4"
+        assert float(rows[0][1]) == pytest.approx(result.best_score, abs=5e-4)
+
+    def test_custom_score_function(self, tiny_archive, base_config):
+        calls = []
+
+        def scorer(detector, dataset):
+            calls.append(dataset.name)
+            return 0.5
+
+        result = grid_search(
+            tiny_archive, {"alpha": [0.4]}, base_config=base_config, score=scorer
+        )
+        assert result.best_score == pytest.approx(0.5)
+        assert len(calls) == len(tiny_archive)
+
+
+class TestScorers:
+    def test_tri_window_accuracy_binary(self, tiny_archive, base_config):
+        from repro import TriAD
+
+        detector = TriAD(base_config).fit(tiny_archive[0].train)
+        value = tri_window_accuracy(detector, tiny_archive[0])
+        assert value in (0.0, 1.0)
+
+    def test_pak_f1_score_range(self, tiny_archive, base_config):
+        from repro import TriAD
+
+        detector = TriAD(base_config).fit(tiny_archive[0].train)
+        value = pak_f1_score(detector, tiny_archive[0])
+        assert 0.0 <= value <= 1.0

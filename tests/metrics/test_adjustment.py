@@ -1,0 +1,119 @@
+"""PA and PA%K tests (paper Eq. 9 semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import f1_score, label_events, pa_k, pa_k_auc, point_adjust
+
+
+@pytest.fixture
+def one_event():
+    labels = np.zeros(200, dtype=int)
+    labels[80:120] = 1
+    return labels
+
+
+class TestLabelEvents:
+    def test_multiple_runs(self):
+        labels = np.array([0, 1, 1, 0, 1, 0, 0, 1, 1, 1])
+        assert label_events(labels) == [(1, 3), (4, 5), (7, 10)]
+
+    def test_empty(self):
+        assert label_events(np.zeros(5, dtype=int)) == []
+
+    def test_full(self):
+        assert label_events(np.ones(4, dtype=int)) == [(0, 4)]
+
+
+class TestPointAdjust:
+    def test_single_hit_floods_event(self, one_event):
+        pred = np.zeros(200, dtype=int)
+        pred[100] = 1
+        adjusted = point_adjust(pred, one_event)
+        assert adjusted[80:120].all()
+        assert adjusted.sum() == 40
+
+    def test_miss_leaves_unchanged(self, one_event):
+        pred = np.zeros(200, dtype=int)
+        pred[10] = 1
+        adjusted = point_adjust(pred, one_event)
+        assert np.array_equal(adjusted, pred)
+
+    def test_false_positives_preserved(self, one_event):
+        pred = np.zeros(200, dtype=int)
+        pred[100] = 1
+        pred[5] = 1
+        adjusted = point_adjust(pred, one_event)
+        assert adjusted[5] == 1
+
+    def test_inflates_f1_dramatically(self, one_event):
+        """The paper's central criticism: one hit -> perfect event score."""
+        pred = np.zeros(200, dtype=int)
+        pred[100] = 1
+        raw = f1_score(pred, one_event)
+        adjusted = f1_score(point_adjust(pred, one_event), one_event)
+        assert adjusted > 10 * raw
+
+
+class TestPaK:
+    def test_k100_equals_pointwise(self, one_event):
+        pred = np.zeros(200, dtype=int)
+        pred[80:100] = 1  # 50% of the event
+        assert np.array_equal(pa_k(pred, one_event, 100), pred)
+
+    def test_k_zero_equals_pa(self, one_event):
+        pred = np.zeros(200, dtype=int)
+        pred[85] = 1
+        assert np.array_equal(pa_k(pred, one_event, 0), point_adjust(pred, one_event))
+
+    def test_threshold_strict(self, one_event):
+        pred = np.zeros(200, dtype=int)
+        pred[80:100] = 1  # exactly 50%
+        assert np.array_equal(pa_k(pred, one_event, 50), pred)  # 50 > 50 is false
+        assert pa_k(pred, one_event, 49)[80:120].all()
+
+    def test_no_hits_never_adjusted(self, one_event):
+        pred = np.zeros(200, dtype=int)
+        assert pa_k(pred, one_event, 1).sum() == 0
+
+    @given(st.integers(min_value=1, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_property_adjusted_f1_between_pw_and_pa(self, k):
+        labels = np.zeros(100, dtype=int)
+        labels[30:60] = 1
+        pred = np.zeros(100, dtype=int)
+        pred[35:45] = 1
+        pred[80] = 1
+        f1_pw = f1_score(pred, labels)
+        f1_pa = f1_score(point_adjust(pred, labels), labels)
+        f1_k = f1_score(pa_k(pred, labels, k), labels)
+        assert f1_pw - 1e-9 <= f1_k <= f1_pa + 1e-9
+
+
+class TestPaKAuc:
+    def test_curve_shape_and_defaults(self, one_event):
+        pred = np.zeros(200, dtype=int)
+        pred[90:110] = 1
+        curve = pa_k_auc(pred, one_event)
+        assert len(curve.ks) == 100
+        assert 0.0 <= curve.f1_auc <= 1.0
+        assert curve.precision_auc >= 0 and curve.recall_auc >= 0
+
+    def test_f1_monotone_nonincreasing_in_k(self, one_event):
+        pred = np.zeros(200, dtype=int)
+        pred[90:110] = 1
+        curve = pa_k_auc(pred, one_event)
+        assert np.all(np.diff(curve.f1) <= 1e-12)
+
+    def test_perfect_prediction_auc_one(self, one_event):
+        curve = pa_k_auc(one_event, one_event)
+        assert curve.f1_auc == pytest.approx(1.0)
+
+    def test_custom_ks(self, one_event):
+        pred = one_event.copy()
+        curve = pa_k_auc(pred, one_event, ks=np.array([10.0, 50.0]))
+        assert len(curve.f1) == 2

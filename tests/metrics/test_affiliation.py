@@ -1,0 +1,75 @@
+"""Affiliation metric tests (paper Eq. 10 semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import affiliation_metrics
+
+
+@pytest.fixture
+def labels():
+    out = np.zeros(1000, dtype=int)
+    out[400:450] = 1
+    return out
+
+
+class TestAffiliation:
+    def test_perfect_prediction(self, labels):
+        score = affiliation_metrics(labels, labels)
+        assert score.precision == pytest.approx(1.0)
+        assert score.recall > 0.99
+        assert score.f1 > 0.99
+
+    def test_requires_an_event(self):
+        with pytest.raises(ValueError):
+            affiliation_metrics(np.zeros(10, dtype=int), np.zeros(10, dtype=int))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            affiliation_metrics(np.zeros(5, dtype=int), np.zeros(6, dtype=int))
+
+    def test_empty_prediction_scores_zero_recall(self, labels):
+        score = affiliation_metrics(np.zeros(1000, dtype=int), labels)
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+    def test_near_miss_beats_far_miss(self, labels):
+        near = np.zeros(1000, dtype=int)
+        near[455:465] = 1
+        far = np.zeros(1000, dtype=int)
+        far[900:910] = 1
+        near_score = affiliation_metrics(near, labels)
+        far_score = affiliation_metrics(far, labels)
+        assert near_score.precision > far_score.precision
+        assert near_score.recall > far_score.recall
+
+    def test_random_dense_prediction_precision_near_half(self, labels):
+        """Documented affiliation baseline: random predictions ~ 0.5."""
+        rng = np.random.default_rng(0)
+        pred = (rng.random(1000) < 0.4).astype(int)
+        score = affiliation_metrics(pred, labels)
+        assert 0.35 < score.precision < 0.65
+
+    def test_all_points_flagged_gives_full_recall(self, labels):
+        score = affiliation_metrics(np.ones(1000, dtype=int), labels)
+        assert score.recall == pytest.approx(1.0)
+        assert score.precision < 0.7  # pays a precision penalty
+
+    def test_multiple_events_averaged(self):
+        labels = np.zeros(1000, dtype=int)
+        labels[100:150] = 1
+        labels[700:760] = 1
+        pred = np.zeros(1000, dtype=int)
+        pred[100:150] = 1  # hit first event only
+        score = affiliation_metrics(pred, labels)
+        assert score.precision == pytest.approx(1.0)  # no prediction in zone 2
+        assert 0.3 < score.recall < 0.7  # one of two events recalled
+
+    def test_f1_zero_when_both_zero(self):
+        labels = np.zeros(10, dtype=int)
+        labels[5] = 1
+        pred = np.zeros(10, dtype=int)
+        score = affiliation_metrics(pred, labels)
+        assert score.f1 == 0.0

@@ -1,0 +1,41 @@
+"""Point-wise metric tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import Confusion, confusion, f1_score, precision_recall_f1
+
+
+class TestConfusion:
+    def test_counts(self):
+        pred = np.array([1, 1, 0, 0, 1])
+        labels = np.array([1, 0, 1, 0, 1])
+        c = confusion(pred, labels)
+        assert (c.tp, c.fp, c.fn, c.tn) == (2, 1, 1, 1)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion(np.zeros(3), np.zeros(4))
+
+    def test_zero_division_guards(self):
+        c = Confusion(tp=0, fp=0, fn=0, tn=10)
+        assert c.precision == 0.0
+        assert c.recall == 0.0
+        assert c.f1 == 0.0
+
+    def test_perfect(self):
+        labels = np.array([0, 1, 1, 0])
+        p, r, f1 = precision_recall_f1(labels, labels)
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+    def test_f1_harmonic_mean(self):
+        pred = np.array([1, 1, 0, 0])
+        labels = np.array([1, 0, 1, 0])
+        assert f1_score(pred, labels) == pytest.approx(0.5)
+
+    def test_boolean_and_int_inputs_agree(self):
+        pred = np.array([True, False, True])
+        labels = np.array([1, 0, 0])
+        assert f1_score(pred, labels) == f1_score(pred.astype(int), labels)

@@ -1,0 +1,130 @@
+"""Tests for range-based P/R and the threshold-free AUC metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    average_precision,
+    best_f1_over_thresholds,
+    range_precision_recall,
+    roc_auc,
+)
+
+
+def binary(length: int, *spans: tuple[int, int]) -> np.ndarray:
+    out = np.zeros(length, dtype=int)
+    for start, end in spans:
+        out[start:end] = 1
+    return out
+
+
+class TestRangePrecisionRecall:
+    def test_perfect(self):
+        labels = binary(100, (40, 60))
+        score = range_precision_recall(labels, labels)
+        assert score.precision == pytest.approx(1.0)
+        assert score.recall == pytest.approx(1.0)
+        assert score.f1 == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        labels = binary(100, (40, 60))
+        pred = binary(100, (50, 70))  # half inside, half outside
+        score = range_precision_recall(pred, labels)
+        assert score.precision == pytest.approx(0.5)
+        assert score.recall == pytest.approx(0.5)
+
+    def test_existence_reward(self):
+        labels = binary(100, (40, 60))
+        pred = binary(100, (59, 61))  # tiny overlap
+        plain = range_precision_recall(pred, labels, alpha=0.0)
+        rewarded = range_precision_recall(pred, labels, alpha=1.0)
+        assert plain.recall == pytest.approx(0.05)
+        assert rewarded.recall == pytest.approx(1.0)
+
+    def test_false_positive_range_hurts_precision(self):
+        labels = binary(100, (40, 60))
+        pred = binary(100, (40, 60), (80, 90))
+        score = range_precision_recall(pred, labels)
+        assert score.precision == pytest.approx(0.5)  # one of two ranges valid
+        assert score.recall == pytest.approx(1.0)
+
+    def test_empty_prediction(self):
+        labels = binary(50, (10, 20))
+        score = range_precision_recall(np.zeros(50, dtype=int), labels)
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+    def test_no_labels_raises(self):
+        with pytest.raises(ValueError):
+            range_precision_recall(binary(10, (1, 2)), np.zeros(10, dtype=int))
+
+    def test_multiple_events_averaged(self):
+        labels = binary(100, (10, 20), (60, 80))
+        pred = binary(100, (10, 20))
+        score = range_precision_recall(pred, labels)
+        assert score.precision == pytest.approx(1.0)
+        assert score.recall == pytest.approx(0.5)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        scores = np.array([0.1, 0.2, 0.9, 0.8])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == pytest.approx(1.0)
+
+    def test_inverted(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.2])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == pytest.approx(0.0)
+
+    def test_random_is_half(self, rng):
+        scores = rng.random(4000)
+        labels = (rng.random(4000) < 0.3).astype(int)
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.04)
+
+    def test_ties_handled(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        labels = np.array([0, 1, 0, 1])
+        assert roc_auc(scores, labels) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.1, 0.2]), np.array([1, 1]))
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0])
+        assert average_precision(scores, labels) == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        # Order by score: labels 1, 0, 1, 0 -> precisions at hits: 1, 2/3.
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        labels = np.array([1, 0, 1, 0])
+        assert average_precision(scores, labels) == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_no_positives_raises(self):
+        with pytest.raises(ValueError):
+            average_precision(np.array([0.5]), np.array([0]))
+
+
+class TestBestF1:
+    def test_finds_optimal_threshold(self):
+        scores = np.array([0.9, 0.8, 0.3, 0.2, 0.1])
+        labels = np.array([1, 1, 0, 0, 0])
+        f1, threshold = best_f1_over_thresholds(scores, labels)
+        assert f1 == pytest.approx(1.0)
+        assert threshold == pytest.approx(0.8)
+
+    def test_upper_bounds_any_fixed_threshold(self, rng):
+        scores = rng.random(500)
+        labels = (scores + 0.3 * rng.random(500) > 0.8).astype(int)
+        best, _ = best_f1_over_thresholds(scores, labels)
+        from repro.metrics import f1_score
+
+        for threshold in (0.3, 0.5, 0.7, 0.9):
+            assert best >= f1_score((scores > threshold).astype(int), labels) - 1e-12

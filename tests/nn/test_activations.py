@@ -1,0 +1,61 @@
+"""Tests for extended activations (GELU, LeakyReLU, Softplus, ELU)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, check_gradients
+
+
+@pytest.mark.parametrize(
+    "module,fn",
+    [
+        (nn.GELU(), nn.gelu),
+        (nn.LeakyReLU(), nn.leaky_relu),
+        (nn.Softplus(), nn.softplus),
+        (nn.ELU(), nn.elu),
+    ],
+)
+class TestCommon:
+    def test_module_matches_functional(self, module, fn, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert np.allclose(module(x).data, fn(x).data)
+
+    def test_gradcheck(self, module, fn, rng):
+        x = Tensor(rng.normal(size=(3, 4)) + 0.05, requires_grad=True)
+        check_gradients(lambda a: fn(a).sum(), [x], atol=1e-4)
+
+    def test_finite_for_extreme_inputs(self, module, fn):
+        x = Tensor(np.array([-100.0, 0.0, 100.0]))
+        assert np.all(np.isfinite(fn(x).data))
+
+
+class TestSpecificValues:
+    def test_gelu_at_zero(self):
+        assert nn.gelu(Tensor([0.0])).data[0] == pytest.approx(0.0)
+
+    def test_gelu_approximates_identity_for_large_x(self):
+        assert nn.gelu(Tensor([10.0])).data[0] == pytest.approx(10.0, rel=1e-4)
+
+    def test_leaky_relu_slope(self):
+        out = nn.leaky_relu(Tensor([-2.0, 2.0]), negative_slope=0.1)
+        assert np.allclose(out.data, [-0.2, 2.0])
+
+    def test_softplus_positive(self, rng):
+        out = nn.softplus(Tensor(rng.normal(size=100)))
+        assert np.all(out.data > 0)
+
+    def test_softplus_approaches_relu(self):
+        out = nn.softplus(Tensor([30.0]), beta=1.0)
+        assert out.data[0] == pytest.approx(30.0, abs=1e-6)
+
+    def test_elu_continuity_at_zero(self):
+        left = nn.elu(Tensor([-1e-8])).data[0]
+        right = nn.elu(Tensor([1e-8])).data[0]
+        assert abs(left - right) < 1e-7
+
+    def test_elu_lower_bound(self, rng):
+        out = nn.elu(Tensor(rng.normal(size=100) * 10), alpha=1.5)
+        assert np.all(out.data > -1.5)

@@ -1,0 +1,51 @@
+"""Tests for the BatchIterator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.data import BatchIterator
+
+
+class TestBatchIterator:
+    def test_covers_all_rows_once(self, rng):
+        data = np.arange(50).reshape(25, 2)
+        batches = BatchIterator(data, batch_size=4, rng=rng)
+        seen = np.concatenate([batch[0][:, 0] for batch in batches])
+        assert sorted(seen.tolist()) == sorted(data[:, 0].tolist())
+
+    def test_multiple_arrays_stay_aligned(self, rng):
+        x = np.arange(20)
+        y = np.arange(20) * 10
+        for bx, by in BatchIterator(x, y, batch_size=6, rng=rng):
+            assert np.array_equal(by, bx * 10)
+
+    def test_drop_last(self, rng):
+        data = np.zeros(10)
+        batches = list(BatchIterator(data, batch_size=4, rng=rng, drop_last=True))
+        assert [len(b[0]) for b in batches] == [4, 4]
+
+    def test_len_matches_iteration(self, rng):
+        for n, bs, drop in [(10, 4, False), (10, 4, True), (12, 4, False), (3, 5, False)]:
+            it = BatchIterator(np.zeros(n), batch_size=bs, rng=rng, drop_last=drop)
+            assert len(it) == len(list(it)), (n, bs, drop)
+
+    def test_min_batch_skips_tiny_remainder(self, rng):
+        data = np.zeros(9)
+        batches = list(BatchIterator(data, batch_size=4, rng=rng, min_batch=2))
+        assert [len(b[0]) for b in batches] == [4, 4]
+
+    def test_shuffles(self):
+        data = np.arange(100)
+        it = BatchIterator(data, batch_size=100, rng=np.random.default_rng(0))
+        (batch,) = list(it)
+        assert not np.array_equal(batch[0], data)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            BatchIterator(batch_size=2, rng=rng)
+        with pytest.raises(ValueError):
+            BatchIterator(np.zeros(5), batch_size=0, rng=rng)
+        with pytest.raises(ValueError):
+            BatchIterator(np.zeros(5), np.zeros(6), rng=rng)

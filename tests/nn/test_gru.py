@@ -1,0 +1,75 @@
+"""Tests for GRU layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, check_gradients
+
+
+@pytest.fixture
+def gru_rng():
+    return np.random.default_rng(13)
+
+
+class TestGRUCell:
+    def test_output_shape(self, gru_rng):
+        cell = nn.GRUCell(3, 6, rng=gru_rng)
+        h = cell.initial_state(4)
+        out = cell(Tensor(gru_rng.normal(size=(4, 3))), h)
+        assert out.shape == (4, 6)
+
+    def test_hidden_bounded(self, gru_rng):
+        cell = nn.GRUCell(2, 4, rng=gru_rng)
+        h = cell.initial_state(8)
+        for _ in range(20):
+            h = cell(Tensor(gru_rng.normal(size=(8, 2)) * 10), h)
+        assert np.all(np.abs(h.data) <= 1.0 + 1e-9)
+
+    def test_gradcheck(self, gru_rng):
+        cell = nn.GRUCell(2, 3, rng=gru_rng)
+        x = Tensor(gru_rng.normal(size=(2, 2)), requires_grad=True)
+        check_gradients(lambda a: (cell(a, cell.initial_state(2)) ** 2).sum(), [x])
+
+
+class TestGRU:
+    def test_shapes_multi_layer(self, gru_rng):
+        gru = nn.GRU(3, 8, num_layers=2, rng=gru_rng)
+        out, state = gru(Tensor(gru_rng.normal(size=(4, 7, 3))))
+        assert out.shape == (4, 7, 8)
+        assert len(state) == 2
+
+    def test_state_continuation(self, gru_rng):
+        gru = nn.GRU(1, 4, rng=gru_rng)
+        x = gru_rng.normal(size=(1, 6, 1))
+        full, _ = gru(Tensor(x))
+        first, state = gru(Tensor(x[:, :3]))
+        second, _ = gru(Tensor(x[:, 3:]), state)
+        assert np.allclose(full.data[:, :3], first.data, atol=1e-12)
+        assert np.allclose(full.data[:, 3:], second.data, atol=1e-12)
+
+    def test_gradients_reach_all_weights(self, gru_rng):
+        gru = nn.GRU(2, 4, num_layers=2, rng=gru_rng)
+        out, _ = gru(Tensor(gru_rng.normal(size=(2, 5, 2))))
+        (out * out).mean().backward()
+        for name, param in gru.named_parameters():
+            assert param.grad is not None, name
+
+    def test_learns_simple_task(self, gru_rng):
+        gru = nn.GRU(1, 8, rng=gru_rng)
+        head = nn.Linear(8, 1, rng=gru_rng)
+        optimizer = nn.Adam(gru.parameters() + head.parameters(), lr=0.02)
+        x = gru_rng.normal(size=(4, 5, 1))
+        target = np.cumsum(x, axis=1)  # running sum task
+        first = last = None
+        for step in range(40):
+            out, _ = gru(Tensor(x))
+            loss = nn.functional.mse_loss(head(out), target)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            first = first if first is not None else loss.item()
+            last = loss.item()
+        assert last < first * 0.7

@@ -1,0 +1,117 @@
+"""Tests for standard layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture
+def layer_rng():
+    return np.random.default_rng(42)
+
+
+class TestLinear:
+    def test_matches_manual_affine(self, layer_rng):
+        layer = nn.Linear(4, 3, rng=layer_rng)
+        x = layer_rng.normal(size=(5, 4))
+        out = layer(nn.Tensor(x)).data
+        expected = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(out, expected)
+
+    def test_no_bias(self, layer_rng):
+        layer = nn.Linear(4, 3, bias=False, rng=layer_rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_applies_over_last_axis(self, layer_rng):
+        layer = nn.Linear(4, 3, rng=layer_rng)
+        out = layer(nn.Tensor(layer_rng.normal(size=(2, 7, 4))))
+        assert out.shape == (2, 7, 3)
+
+
+class TestConv1dLayer:
+    def test_same_length_output(self, layer_rng):
+        layer = nn.Conv1d(2, 6, 3, dilation=4, rng=layer_rng)
+        out = layer(nn.Tensor(layer_rng.normal(size=(3, 2, 25))))
+        assert out.shape == (3, 6, 25)
+
+    def test_parameters_registered(self, layer_rng):
+        layer = nn.Conv1d(2, 6, 3, rng=layer_rng)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self, layer_rng):
+        layer = nn.LayerNorm(16)
+        x = layer_rng.normal(size=(4, 16)) * 5 + 3
+        out = layer(nn.Tensor(x)).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_parameters_apply(self, layer_rng):
+        layer = nn.LayerNorm(4)
+        layer.weight.data[:] = 2.0
+        layer.bias.data[:] = 1.0
+        out = layer(nn.Tensor(layer_rng.normal(size=(3, 4)))).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+
+class TestBatchNorm1d:
+    def test_training_normalizes_batch(self, layer_rng):
+        layer = nn.BatchNorm1d(3)
+        x = layer_rng.normal(size=(8, 3, 20)) * 4 + 2
+        out = layer(nn.Tensor(x)).data
+        assert np.allclose(out.mean(axis=(0, 2)), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=(0, 2)), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self, layer_rng):
+        layer = nn.BatchNorm1d(2, momentum=1.0)
+        x = layer_rng.normal(size=(4, 2, 10)) + 5.0
+        layer(nn.Tensor(x))
+        assert np.allclose(layer._buffer_running_mean, x.mean(axis=(0, 2)), atol=1e-6)
+
+    def test_eval_uses_running_stats(self, layer_rng):
+        layer = nn.BatchNorm1d(1, momentum=1.0)
+        train_batch = layer_rng.normal(size=(16, 1, 8))
+        layer(nn.Tensor(train_batch))
+        layer.eval()
+        x = np.full((2, 1, 4), 7.0)
+        out = layer(nn.Tensor(x)).data
+        expected = (7.0 - layer._buffer_running_mean[0]) / np.sqrt(
+            layer._buffer_running_var[0] + layer.eps
+        )
+        assert np.allclose(out, expected, atol=1e-6)
+
+    def test_rejects_wrong_rank(self, layer_rng):
+        layer = nn.BatchNorm1d(2)
+        with pytest.raises(ValueError):
+            layer(nn.Tensor(layer_rng.normal(size=(4, 2))))
+
+
+class TestActivationsAndDropout:
+    def test_relu(self):
+        out = nn.ReLU()(nn.Tensor([-1.0, 2.0])).data
+        assert np.allclose(out, [0.0, 2.0])
+
+    def test_tanh_sigmoid_ranges(self, layer_rng):
+        x = nn.Tensor(layer_rng.normal(size=100) * 10)
+        assert np.all(np.abs(nn.Tanh()(x).data) <= 1.0)
+        sig = nn.Sigmoid()(x).data
+        assert np.all((sig > 0) & (sig < 1))
+
+    def test_identity(self, layer_rng):
+        x = nn.Tensor(layer_rng.normal(size=5))
+        assert nn.Identity()(x) is not None
+        assert np.allclose(nn.Identity()(x).data, x.data)
+
+    def test_dropout_respects_mode(self, layer_rng):
+        layer = nn.Dropout(0.9, rng=layer_rng)
+        x = nn.Tensor(np.ones(1000))
+        train_out = layer(x).data
+        assert (train_out == 0).mean() > 0.5
+        layer.eval()
+        assert np.allclose(layer(x).data, 1.0)

@@ -1,0 +1,104 @@
+"""Tests for optimizers and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Parameter, Tensor
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    """(p - 3)^2 summed — minimized at 3."""
+    diff = param - Tensor(np.full(param.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        optimizer = nn.SGD([p], lr=0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            quadratic_loss(p).backward()
+            optimizer.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.zeros(1))
+            optimizer = nn.SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                optimizer.zero_grad()
+                quadratic_loss(p).backward()
+                optimizer.step()
+            return abs(float(p.data[0]) - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.ones(1) * 10)
+        optimizer = nn.SGD([p], lr=0.1, weight_decay=1.0)
+        optimizer.zero_grad()
+        (p * 0.0).sum().backward()  # zero task gradient
+        optimizer.step()
+        assert float(p.data[0]) < 10.0
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.ones(1))
+        optimizer = nn.SGD([p], lr=0.1)
+        optimizer.step()  # no backward happened; must not crash
+        assert np.allclose(p.data, 1.0)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(4))
+        optimizer = nn.Adam([p], lr=0.2)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_loss(p).backward()
+            optimizer.step()
+        assert np.allclose(p.data, 3.0, atol=1e-3)
+
+    def test_bias_correction_first_step(self):
+        """First Adam step should move by roughly lr regardless of grad scale."""
+        for scale in (1e-3, 1e3):
+            p = Parameter(np.zeros(1))
+            optimizer = nn.Adam([p], lr=0.1)
+            optimizer.zero_grad()
+            (p * scale).sum().backward()
+            optimizer.step()
+            assert np.isclose(abs(float(p.data[0])), 0.1, rtol=1e-3)
+
+    def test_weight_decay(self):
+        p = Parameter(np.ones(1) * 5)
+        optimizer = nn.Adam([p], lr=0.1, weight_decay=1.0)
+        optimizer.zero_grad()
+        (p * 0.0).sum().backward()
+        optimizer.step()
+        assert float(p.data[0]) < 5.0
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([3.0, 4.0, 0.0])  # norm 5
+        norm = nn.clip_grad_norm([p], max_norm=1.0)
+        assert np.isclose(norm, 5.0)
+        assert np.isclose(np.linalg.norm(p.grad), 1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        nn.clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_ignores_gradless_parameters(self):
+        p = Parameter(np.zeros(2))
+        assert nn.clip_grad_norm([p], max_norm=1.0) == 0.0

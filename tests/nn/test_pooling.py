@@ -1,0 +1,67 @@
+"""Tests for pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, check_gradients
+
+
+class TestMaxPool1d:
+    def test_values(self):
+        x = Tensor(np.array([[[1.0, 3.0, 2.0, 5.0, 4.0, 0.0]]]))
+        out = nn.MaxPool1d(2)(x)
+        assert np.allclose(out.data, [[[3.0, 5.0, 4.0]]])
+
+    def test_stride_overrides_kernel(self):
+        x = Tensor(np.arange(8.0).reshape(1, 1, 8))
+        out = nn.MaxPool1d(3, stride=2)(x)
+        assert np.allclose(out.data, [[[2.0, 4.0, 6.0]]])
+
+    def test_gradient_routes_to_argmax(self):
+        x = Tensor(np.array([[[1.0, 3.0, 2.0, 5.0]]]), requires_grad=True)
+        out = nn.MaxPool1d(2)(x)
+        out.sum().backward()
+        assert np.allclose(x.grad, [[[0.0, 1.0, 0.0, 1.0]]])
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 9)), requires_grad=True)
+        check_gradients(lambda a: (nn.MaxPool1d(3)(a) ** 2).sum(), [x])
+
+    def test_rejects_bad_rank(self, rng):
+        with pytest.raises(ValueError):
+            nn.MaxPool1d(2)(Tensor(rng.normal(size=(3, 4))))
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(ValueError):
+            nn.MaxPool1d(0)
+
+
+class TestAvgPool1d:
+    def test_values(self):
+        x = Tensor(np.array([[[2.0, 4.0, 6.0, 8.0]]]))
+        out = nn.AvgPool1d(2)(x)
+        assert np.allclose(out.data, [[[3.0, 7.0]]])
+
+    def test_gradient_spread_evenly(self):
+        x = Tensor(np.zeros((1, 1, 4)), requires_grad=True)
+        nn.AvgPool1d(2)(x).sum().backward()
+        assert np.allclose(x.grad, 0.5)
+
+    def test_gradcheck_strided(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 10)), requires_grad=True)
+        check_gradients(lambda a: (nn.AvgPool1d(4, stride=2)(a) ** 2).sum(), [x])
+
+
+class TestGlobalPools:
+    def test_shapes(self, rng):
+        x = Tensor(rng.normal(size=(4, 5, 16)))
+        assert nn.GlobalMaxPool1d()(x).shape == (4, 5)
+        assert nn.GlobalAvgPool1d()(x).shape == (4, 5)
+
+    def test_values(self):
+        x = Tensor(np.array([[[1.0, 5.0, 3.0]]]))
+        assert nn.GlobalMaxPool1d()(x).data[0, 0] == 5.0
+        assert nn.GlobalAvgPool1d()(x).data[0, 0] == 3.0

@@ -1,0 +1,96 @@
+"""Tests for LR schedulers, extra optimizers, and early stopping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Parameter, Tensor
+
+
+def make_optimizer(lr=1.0):
+    return nn.SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestStepLR:
+    def test_decay_schedule(self):
+        optimizer = make_optimizer(lr=1.0)
+        scheduler = nn.StepLR(optimizer, step_size=2, gamma=0.5)
+        lrs = [scheduler.step() for _ in range(5)]
+        assert lrs == [1.0, 0.5, 0.5, 0.25, 0.25]
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            nn.StepLR(make_optimizer(), step_size=0)
+
+
+class TestExponentialLR:
+    def test_decay(self):
+        scheduler = nn.ExponentialLR(make_optimizer(lr=2.0), gamma=0.5)
+        assert scheduler.step() == pytest.approx(1.0)
+        assert scheduler.step() == pytest.approx(0.5)
+
+
+class TestCosineAnnealingLR:
+    def test_endpoints(self):
+        scheduler = nn.CosineAnnealingLR(make_optimizer(lr=1.0), t_max=10, eta_min=0.1)
+        values = [scheduler.step() for _ in range(10)]
+        assert values[0] < 1.0
+        assert values[-1] == pytest.approx(0.1)
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_clamps_after_t_max(self):
+        scheduler = nn.CosineAnnealingLR(make_optimizer(), t_max=2)
+        for _ in range(5):
+            lr = scheduler.step()
+        assert lr == pytest.approx(0.0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = nn.EarlyStopping(patience=3)
+        assert not stopper.update(1.0)
+        assert not stopper.update(1.0)
+        assert not stopper.update(1.0)
+        assert stopper.update(1.0)  # 4th non-improving epoch
+
+    def test_improvement_resets(self):
+        stopper = nn.EarlyStopping(patience=2)
+        stopper.update(1.0)
+        stopper.update(1.0)  # bad 1
+        assert not stopper.update(0.5)  # improvement resets
+        assert stopper.bad_epochs == 0
+
+    def test_min_delta(self):
+        stopper = nn.EarlyStopping(patience=1, min_delta=0.1)
+        stopper.update(1.0)
+        assert stopper.update(0.95)  # not enough improvement
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            nn.EarlyStopping(patience=0)
+
+
+class TestExtraOptimizers:
+    def _fit(self, optimizer_factory):
+        p = Parameter(np.zeros(3))
+        optimizer = optimizer_factory(p)
+        for _ in range(150):
+            optimizer.zero_grad()
+            ((p - Tensor(np.full(3, 2.0))) ** 2).sum().backward()
+            optimizer.step()
+        return p.data
+
+    def test_adamw_converges(self):
+        result = self._fit(lambda p: nn.AdamW([p], lr=0.1, weight_decay=0.0))
+        assert np.allclose(result, 2.0, atol=1e-2)
+
+    def test_adamw_decay_shrinks_weights(self):
+        no_decay = self._fit(lambda p: nn.AdamW([p], lr=0.1, weight_decay=0.0))
+        with_decay = self._fit(lambda p: nn.AdamW([p], lr=0.1, weight_decay=0.05))
+        assert np.all(np.abs(with_decay) < np.abs(no_decay))
+
+    def test_rmsprop_converges(self):
+        result = self._fit(lambda p: nn.RMSProp([p], lr=0.05))
+        assert np.allclose(result, 2.0, atol=1e-2)

@@ -1,0 +1,76 @@
+"""Seasonal-trend decomposition tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signal import decompose, moving_average, residual_component
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self, rng):
+        x = rng.normal(size=50)
+        assert np.allclose(moving_average(x, 1), x)
+
+    def test_constant_preserved(self):
+        assert np.allclose(moving_average(np.full(40, 5.0), 7), 5.0)
+
+    def test_output_length(self, rng):
+        x = rng.normal(size=33)
+        assert len(moving_average(x, 8)) == 33
+
+    def test_smooths_noise(self, rng):
+        x = rng.normal(size=500)
+        assert moving_average(x, 20).std() < x.std() * 0.5
+
+    def test_window_larger_than_input_clamped(self, rng):
+        x = rng.normal(size=10)
+        out = moving_average(x, 100)
+        assert len(out) == 10 and np.all(np.isfinite(out))
+
+
+class TestDecompose:
+    def test_components_sum_to_input(self, noisy_wave):
+        d = decompose(noisy_wave, 40)
+        assert np.allclose(d.reconstruct(), noisy_wave, atol=1e-12)
+
+    def test_seasonal_profile_zero_mean(self, noisy_wave):
+        d = decompose(noisy_wave, 40)
+        assert abs(d.seasonal[:40].mean()) < 1e-10
+
+    def test_seasonal_is_periodic(self, noisy_wave):
+        d = decompose(noisy_wave, 40)
+        assert np.allclose(d.seasonal[:40], d.seasonal[40:80])
+
+    def test_pure_sine_mostly_seasonal(self, sine_wave):
+        d = decompose(sine_wave, 50)
+        assert d.seasonal.std() > 0.5
+        assert d.residual.std() < 0.15 * sine_wave.std()
+
+    def test_linear_trend_captured_by_trend(self):
+        x = np.linspace(0, 10, 300)
+        d = decompose(x, 20)
+        assert np.corrcoef(d.trend, x)[0, 1] > 0.999
+
+    def test_period_one_no_seasonality(self, rng):
+        x = rng.normal(size=100)
+        d = decompose(x, 1)
+        assert np.allclose(d.seasonal, 0.0)
+
+
+class TestResidualComponent:
+    def test_normalized_output(self, noisy_wave):
+        r = residual_component(noisy_wave, 40)
+        assert abs(r.mean()) < 1e-10
+        assert np.isclose(r.std(), 1.0)
+
+    def test_constant_input_returns_zeros(self):
+        assert np.allclose(residual_component(np.full(100, 2.0), 10), 0.0)
+
+    def test_level_shift_appears_in_residual(self, sine_wave):
+        x = sine_wave.copy()
+        x[500:520] += 3.0  # residual-scale anomaly
+        r = residual_component(x, 50)
+        inside = np.abs(r[500:520]).mean()
+        outside = np.abs(np.concatenate([r[:480], r[540:]])).mean()
+        assert inside > 2.0 * outside

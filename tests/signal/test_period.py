@@ -1,0 +1,77 @@
+"""Period estimation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal import acf_period, autocorrelation, estimate_period, fft_period
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        acf = autocorrelation(rng.normal(size=500))
+        assert np.isclose(acf[0], 1.0)
+
+    def test_periodic_signal_peaks_at_period(self, sine_wave):
+        acf = autocorrelation(sine_wave)
+        assert acf[50] > 0.9
+
+    def test_constant_signal_returns_zeros(self):
+        acf = autocorrelation(np.ones(100), max_lag=10)
+        assert np.allclose(acf, 0.0)
+
+
+class TestPeriodDetectors:
+    def test_acf_finds_sine_period(self, sine_wave):
+        assert acf_period(sine_wave) == 50
+
+    def test_fft_finds_sine_period(self, sine_wave):
+        assert fft_period(sine_wave) == 50
+
+    def test_acf_none_for_white_noise(self, rng):
+        # White noise has no significant ACF peak most of the time; at
+        # minimum the function must not crash and must return int or None.
+        result = acf_period(rng.normal(size=50))
+        assert result is None or isinstance(result, int)
+
+    def test_fft_none_for_tiny_input(self):
+        assert fft_period(np.zeros(3)) is None
+
+
+class TestEstimatePeriod:
+    @pytest.mark.parametrize("period", [20, 37, 64, 100])
+    def test_recovers_known_periods(self, rng, period):
+        t = np.arange(3000)
+        x = np.sin(2 * np.pi * t / period) + 0.1 * rng.standard_normal(len(t))
+        assert abs(estimate_period(x) - period) <= max(2, period // 20)
+
+    def test_prefers_acf_over_fft_overtone(self, rng):
+        """A waveform with a strong 2nd harmonic should not report P/2."""
+        t = np.arange(4000)
+        period = 80
+        x = (
+            np.sin(2 * np.pi * t / period)
+            + 0.9 * np.sin(4 * np.pi * t / period)
+            + 0.05 * rng.standard_normal(len(t))
+        )
+        assert abs(estimate_period(x) - period) <= 4
+
+    def test_default_for_aperiodic(self, rng):
+        x = np.cumsum(rng.standard_normal(2000)) * 0.001
+        period = estimate_period(x, default=64)
+        assert 2 <= period <= len(x) // 4
+
+    def test_clamped_to_max(self, sine_wave):
+        assert estimate_period(sine_wave, max_period=10) <= 10
+
+    @given(st.integers(min_value=8, max_value=60))
+    @settings(max_examples=10, deadline=None)
+    def test_property_clean_sine(self, period):
+        t = np.arange(max(20 * period, 400))
+        x = np.sin(2 * np.pi * t / period)
+        estimate = estimate_period(x)
+        # Accept the period or a small integer multiple mismatch of +/-1.
+        assert abs(estimate - period) <= max(2, period // 10)

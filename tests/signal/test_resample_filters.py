@@ -1,0 +1,106 @@
+"""Tests for resampling, detrending, and HP/BP Butterworth designs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import signal as sp_signal
+
+from repro.signal import (
+    butter_bandpass,
+    butter_highpass,
+    detrend_linear,
+    downsample_mean,
+    filtfilt,
+    resample_fourier,
+    resample_linear,
+)
+
+
+class TestButterHighpass:
+    @pytest.mark.parametrize("order", [1, 2, 4])
+    @pytest.mark.parametrize("cutoff", [0.1, 0.5, 0.8])
+    def test_matches_scipy(self, order, cutoff):
+        b, a = butter_highpass(order, cutoff)
+        b_ref, a_ref = sp_signal.butter(order, cutoff, btype="highpass")
+        assert np.allclose(b, b_ref, atol=1e-9)
+        assert np.allclose(a, a_ref, atol=1e-9)
+
+    def test_blocks_dc(self):
+        b, a = butter_highpass(3, 0.2)
+        x = np.full(500, 5.0) + np.sin(2 * np.pi * np.arange(500) / 5)
+        out = filtfilt(b, a, x)
+        assert abs(out.mean()) < 0.05  # DC removed
+        assert out.std() > 0.5  # fast component retained
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            butter_highpass(0, 0.2)
+        with pytest.raises(ValueError):
+            butter_highpass(2, 1.5)
+
+
+class TestButterBandpass:
+    def test_band_selectivity(self):
+        b, a = butter_bandpass(3, 0.2, 0.5)
+        w, h = sp_signal.freqz(b, a, worN=512)
+        f = w / np.pi
+        mag = np.abs(h)
+        assert mag[f < 0.05].max() < 0.1
+        assert mag[(f > 0.3) & (f < 0.4)].min() > 0.7
+        assert mag[f > 0.85].max() < 0.1
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            butter_bandpass(2, 0.5, 0.2)
+
+
+class TestResample:
+    def test_linear_identity(self, rng):
+        x = rng.normal(size=100)
+        assert np.allclose(resample_linear(x, 100), x)
+
+    def test_linear_endpoints_preserved(self, rng):
+        x = rng.normal(size=50)
+        out = resample_linear(x, 200)
+        assert out[0] == pytest.approx(x[0])
+        assert out[-1] == pytest.approx(x[-1])
+
+    def test_fourier_upsamples_tone_exactly(self):
+        n = 128
+        x = np.sin(2 * np.pi * 4 * np.arange(n) / n)
+        up = resample_fourier(x, 256)
+        expected = np.sin(2 * np.pi * 4 * np.arange(256) / 256)
+        assert np.allclose(up, expected, atol=1e-10)
+
+    def test_fourier_matches_scipy(self, rng):
+        x = rng.normal(size=128)
+        for target in (64, 200, 256):
+            mine = resample_fourier(x, target)
+            ref = sp_signal.resample(x, target)
+            assert np.allclose(mine, ref, atol=1e-8), target
+
+    def test_invalid_target(self, rng):
+        with pytest.raises(ValueError):
+            resample_linear(rng.normal(size=10), 0)
+
+
+class TestDetrendAndDownsample:
+    def test_detrend_removes_line(self, rng):
+        t = np.arange(300, dtype=np.float64)
+        x = 3.0 * t + 7.0 + rng.standard_normal(300)
+        out = detrend_linear(x)
+        slope = np.polyfit(t, out, 1)[0]
+        assert abs(slope) < 1e-10
+
+    def test_downsample_block_means(self):
+        x = np.arange(12, dtype=np.float64)
+        assert np.allclose(downsample_mean(x, 4), [1.5, 5.5, 9.5])
+
+    def test_downsample_partial_tail(self):
+        x = np.array([0.0, 2.0, 4.0, 10.0, 20.0])
+        assert np.allclose(downsample_mean(x, 2), [1.0, 7.0, 20.0])
+
+    def test_downsample_factor_one(self, rng):
+        x = rng.normal(size=10)
+        assert np.allclose(downsample_mean(x, 1), x)

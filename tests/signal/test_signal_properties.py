@@ -1,0 +1,114 @@
+"""Cross-cutting hypothesis properties for the signal substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.signal import (
+    butterworth_smooth,
+    decompose,
+    downsample_mean,
+    estimate_period,
+    frequency_features,
+    moving_average,
+    resample_fourier,
+    resample_linear,
+    stft,
+    welch_psd,
+)
+
+
+def random_signal(seed: int, n: int = 256) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    period = int(rng.integers(8, 40))
+    t = np.arange(n)
+    return np.sin(2 * np.pi * t / period) + 0.1 * rng.standard_normal(n)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_decompose_reconstructs_exactly(seed):
+    x = random_signal(seed)
+    d = decompose(x, 16)
+    assert np.allclose(d.reconstruct(), x, atol=1e-10)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=30))
+@settings(max_examples=20, deadline=None)
+def test_moving_average_bounded_by_input_range(seed, window):
+    x = random_signal(seed)
+    smoothed = moving_average(x, window)
+    assert smoothed.min() >= x.min() - 1e-12
+    assert smoothed.max() <= x.max() + 1e-12
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_smoothing_never_raises_variance(seed):
+    x = random_signal(seed)
+    assert butterworth_smooth(x, cutoff=0.1).std() <= x.std() + 1e-9
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_fourier_resample_roundtrip(seed):
+    """Upsample then downsample back recovers the original exactly
+    (band-limited interpolation is information-preserving)."""
+    x = random_signal(seed, n=128)
+    up = resample_fourier(x, 256)
+    back = resample_fourier(up, 128)
+    assert np.allclose(back, x, atol=1e-8)
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=7))
+@settings(max_examples=20, deadline=None)
+def test_downsample_preserves_mean(seed, factor):
+    x = random_signal(seed, n=210)
+    if len(x) % factor == 0:  # the partial tail skews block weights
+        assert downsample_mean(x, factor).mean() == pytest.approx(x.mean(), abs=1e-9)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_linear_resample_within_input_range(seed):
+    x = random_signal(seed)
+    out = resample_linear(x, 1000)
+    assert out.min() >= x.min() - 1e-12
+    assert out.max() <= x.max() + 1e-12
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_stft_frames_consistent_with_welch_peak(seed):
+    """Both views of the same stationary tone agree on the dominant bin."""
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(4, 24))
+    n, frame = 2048, 128
+    x = np.sin(2 * np.pi * k * np.arange(n) / frame)
+    transform, _ = stft(x, frame_length=frame)
+    stft_peak = int(np.abs(transform).mean(axis=0).argmax())
+    freqs, psd = welch_psd(x, frame_length=frame)
+    welch_peak = int(np.argmax(psd))
+    assert stft_peak == welch_peak == k
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_frequency_features_batch_matches_loop(seed):
+    """Vectorized batch extraction equals per-window extraction."""
+    rng = np.random.default_rng(seed)
+    windows = rng.normal(size=(4, 64)) + np.sin(np.arange(64) / 3)
+    batched = frequency_features(windows)
+    looped = np.stack([frequency_features(w) for w in windows])
+    assert np.allclose(batched, looped, atol=1e-10)
+
+
+@given(st.integers(min_value=6, max_value=50))
+@settings(max_examples=15, deadline=None)
+def test_estimate_period_scale_invariant(period):
+    t = np.arange(max(25 * period, 500))
+    x = np.sin(2 * np.pi * t / period)
+    assert estimate_period(x) == estimate_period(x * 100 + 7)

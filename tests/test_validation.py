@@ -1,0 +1,82 @@
+"""Failure-injection tests: public entry points reject bad input cleanly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TriAD, TriADConfig
+from repro.baselines import LSTMAEDetector, OneLinerDetector
+from repro.validation import ensure_finite, ensure_series
+
+
+class TestHelpers:
+    def test_ensure_finite_passes_clean(self, rng):
+        x = rng.normal(size=10)
+        assert np.array_equal(ensure_finite(x), x)
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_ensure_finite_rejects(self, bad):
+        x = np.ones(5)
+        x[2] = bad
+        with pytest.raises(ValueError, match="non-finite"):
+            ensure_finite(x)
+
+    def test_ensure_series_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            ensure_series(np.zeros((3, 4)))
+
+    def test_ensure_series_rejects_short(self):
+        with pytest.raises(ValueError, match="at least"):
+            ensure_series(np.zeros(3), min_length=10)
+
+    def test_error_names_the_argument(self):
+        with pytest.raises(ValueError, match="train_series"):
+            ensure_series(np.zeros((2, 2)), name="train_series")
+
+
+class TestTriADBoundaries:
+    def test_fit_rejects_nan(self):
+        x = np.sin(np.arange(500) / 5.0)
+        x[100] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            TriAD(TriADConfig(epochs=1)).fit(x)
+
+    def test_fit_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            TriAD(TriADConfig(epochs=1)).fit(np.zeros(10))
+
+    def test_detect_rejects_nan(self, noisy_wave):
+        detector = TriAD(
+            TriADConfig(depth=1, hidden_dim=4, epochs=1, max_window=64)
+        ).fit(noisy_wave)
+        bad = noisy_wave.copy()
+        bad[5] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            detector.detect(bad)
+
+    def test_detect_rejects_shorter_than_window(self, noisy_wave):
+        detector = TriAD(
+            TriADConfig(depth=1, hidden_dim=4, epochs=1, max_window=64)
+        ).fit(noisy_wave)
+        with pytest.raises(ValueError):
+            detector.detect(noisy_wave[: detector.plan.length - 1])
+
+
+class TestBaselineBoundaries:
+    def test_fit_rejects_nan(self):
+        x = np.ones(100)
+        x[3] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            OneLinerDetector().fit(x)
+
+    def test_detect_rejects_nan(self, noisy_wave):
+        detector = LSTMAEDetector(trained=False).fit(noisy_wave)
+        bad = noisy_wave.copy()
+        bad[0] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            detector.detect(bad)
+
+    def test_fit_rejects_matrix(self, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            OneLinerDetector().fit(rng.normal(size=(10, 10)))

@@ -1,0 +1,87 @@
+"""Tests for the terminal visualization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz import ascii_plot, detection_report, mark_intervals, sparkline
+
+
+class TestSparkline:
+    def test_length_capped(self, rng):
+        assert len(sparkline(rng.normal(size=500), width=40)) == 40
+
+    def test_short_input_uncompressed(self, rng):
+        assert len(sparkline(rng.normal(size=7), width=40)) == 7
+
+    def test_monotone_input_monotone_levels(self):
+        line = sparkline(np.arange(8.0), width=8)
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_input(self):
+        line = sparkline(np.ones(10))
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline(np.array([])) == ""
+
+
+class TestAsciiPlot:
+    def test_dimensions(self, rng):
+        plot = ascii_plot(rng.normal(size=300), height=6, width=50)
+        lines = plot.splitlines()
+        assert len(lines) == 6
+        assert all(len(line) == 50 for line in lines)
+
+    def test_marks_row_appended(self, rng):
+        plot = ascii_plot(rng.normal(size=100), height=4, width=50, marks=[(40, 60)])
+        lines = plot.splitlines()
+        assert len(lines) == 5
+        assert "!" in lines[-1]
+
+    def test_peak_location(self):
+        x = np.zeros(72)
+        x[36] = 10.0
+        plot = ascii_plot(x, height=5, width=72)
+        top_row = plot.splitlines()[0]
+        assert top_row[36] == "█"
+
+    def test_empty(self):
+        assert ascii_plot(np.array([])) == ""
+
+
+class TestMarkIntervals:
+    def test_marks_and_clipping(self):
+        line = mark_intervals(10, [(2, 4), (8, 15)])
+        assert line == "  ^^    ^^"
+
+    def test_empty_intervals(self):
+        assert mark_intervals(5, []) == "     "
+
+
+class TestDetectionReport:
+    @pytest.fixture(scope="class")
+    def detection(self):
+        from repro import TriAD, TriADConfig
+        from repro.data import make_archive
+
+        ds = make_archive(size=1, seed=3, train_length=900, test_length=1100)[0]
+        detector = TriAD(TriADConfig(depth=1, hidden_dim=4, epochs=1, max_window=96))
+        detector.fit(ds.train)
+        return detector.detect(ds.test), ds
+
+    def test_report_contains_sections(self, detection):
+        det, ds = detection
+        report = detection_report(det, ds.labels)
+        assert "flagged window" in report
+        assert "per-domain window similarity" in report
+        assert "ground truth" in report
+        for domain in det.similarity:
+            assert domain in report
+
+    def test_report_without_labels(self, detection):
+        det, _ = detection
+        report = detection_report(det)
+        assert "ground truth" not in report
+        assert "predictions" in report
