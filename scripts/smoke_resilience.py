@@ -1,0 +1,91 @@
+"""Resilience smoke: a 3-dataset micro-archive sweep with one injected
+fault must complete, attribute the failure, and resume from its journal
+without re-running completed units.
+
+Runs standalone (``PYTHONPATH=src python scripts/smoke_resilience.py``)
+and under the tier-1 pytest run via ``tests/runtime/test_smoke_resilience.py``
+(marker: ``resilience``), so regressions in the runtime layer fail fast.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run_smoke() -> dict:
+    """Execute the scenario; raise AssertionError on any regression."""
+    from repro.baselines import OneLinerDetector
+    from repro.data import make_archive
+    from repro.eval import SweepCheckpoint, run_on_archive
+    from repro.runtime import Fault, FaultPlan, RetryPolicy, chaos_factory
+
+    archive = make_archive(size=3, seed=7, train_length=400, test_length=500)
+    faulty = archive[1].name
+    plan = FaultPlan([Fault(dataset=faulty, stage="fit", mode="raise", count=None)])
+    policy = RetryPolicy(max_retries=1)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Path(tmp) / "sweep.jsonl"
+
+        agg = run_on_archive(
+            "one-liner",
+            chaos_factory(lambda s: OneLinerDetector(), plan, archive),
+            archive,
+            policy=policy,
+            checkpoint=SweepCheckpoint(journal),
+        )
+        assert len(agg.failures) == 1, f"expected 1 failure, got {len(agg.failures)}"
+        failure = agg.failures[0]
+        assert failure.dataset == faulty and failure.stage == "fit", failure.describe()
+        assert len(agg.per_run) == 2, "survivors must still be evaluated"
+        assert abs(agg.coverage - 2 / 3) < 1e-9, f"coverage {agg.coverage}"
+
+        # Resume: every recorded unit (results and the failure) is spliced
+        # from the journal; nothing re-runs.
+        calls = {"builds": 0}
+
+        def counting_factory(seed: int) -> OneLinerDetector:
+            calls["builds"] += 1
+            return OneLinerDetector()
+
+        resumed = run_on_archive(
+            "one-liner",
+            counting_factory,
+            archive,
+            policy=policy,
+            checkpoint=SweepCheckpoint(journal),
+        )
+        assert calls["builds"] == 0, f"resume re-ran {calls['builds']} unit(s)"
+        assert resumed.mean == agg.mean and resumed.std == agg.std
+
+        # Clear the failure; only the faulty unit re-runs (fault-free now)
+        # and the sweep heals to full coverage.
+        assert SweepCheckpoint(journal).clear_failures() == 1
+        healed = run_on_archive(
+            "one-liner",
+            counting_factory,
+            archive,
+            policy=policy,
+            checkpoint=SweepCheckpoint(journal),
+        )
+        assert calls["builds"] == 1, "only the failed unit should re-run"
+        assert not healed.failures and healed.coverage == 1.0
+
+    return {
+        "failures": len(agg.failures),
+        "survivors": len(agg.per_run),
+        "coverage": agg.coverage,
+        "healed_coverage": healed.coverage,
+    }
+
+
+def main() -> int:
+    summary = run_smoke()
+    print(f"resilience smoke: OK {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--mode", choices=("binary", "scores"), default="binary",
                            help="binary: thresholded predictions + paper metrics; "
                                 "scores: threshold-free ROC/PR AUC (baselines only)")
+    p_compare.add_argument("--retries", type=int, default=None,
+                           help="isolate failing (dataset, seed) units and retry "
+                                "them up to N times instead of aborting the sweep")
+    p_compare.add_argument("--budget-seconds", type=float, default=None,
+                           help="wall-clock budget per unit attempt (implies "
+                                "fault isolation)")
+    p_compare.add_argument("--checkpoint", type=Path, default=None,
+                           help="directory of per-detector JSONL journals; an "
+                                "interrupted sweep resumes from the last "
+                                "completed unit")
+    p_compare.add_argument("--retry-failed", action="store_true",
+                           help="clear failures recorded in the checkpoint so "
+                                "those units get a fresh run")
 
     sub.add_parser("experiments", help="list paper artifacts and benches")
 
@@ -190,14 +203,26 @@ def _cmd_compare(args) -> int:
     from .eval import (
         METRIC_NAMES,
         SCORE_METRIC_NAMES,
+        SweepCheckpoint,
+        render_failure_summary,
         render_table,
         run_on_archive,
         run_scores_on_archive,
     )
     from .eval.persistence import save_results
+    from .runtime import RetryPolicy, RunBudget
 
     archive = make_archive(size=args.size, seed=7, train_length=1600, test_length=2000)
     names = [n.strip() for n in args.detectors.split(",") if n.strip()]
+
+    policy = None
+    if args.retries is not None or args.budget_seconds is not None:
+        budget = (
+            RunBudget(max_seconds=args.budget_seconds)
+            if args.budget_seconds is not None
+            else None
+        )
+        policy = RetryPolicy(max_retries=args.retries or 0, budget=budget)
     aggregates = []
     for name in names:
         if name == "triad":
@@ -215,12 +240,28 @@ def _cmd_compare(args) -> int:
             print(f"unknown detector {name!r}", file=sys.stderr)
             return 2
         runner = run_scores_on_archive if args.mode == "scores" else run_on_archive
-        aggregates.append(runner(name, factory, archive, seeds=(0,)))
+        checkpoint = None
+        if args.checkpoint is not None:
+            args.checkpoint.mkdir(parents=True, exist_ok=True)
+            checkpoint = SweepCheckpoint(args.checkpoint / f"{name}.{args.mode}.jsonl")
+            if args.retry_failed:
+                cleared = checkpoint.clear_failures()
+                if cleared:
+                    print(f"cleared {cleared} recorded failure(s) for {name}",
+                          file=sys.stderr)
+        aggregates.append(
+            runner(name, factory, archive, seeds=(0,),
+                   policy=policy, checkpoint=checkpoint)
+        )
 
     metric_names = SCORE_METRIC_NAMES if args.mode == "scores" else METRIC_NAMES
     rows = [agg.row(metrics=metric_names) for agg in aggregates]
     print(render_table(["Model"] + list(metric_names), rows,
                        title=f"Leaderboard: {args.size} datasets ({args.mode})"))
+    for agg in aggregates:
+        summary = render_failure_summary(agg)
+        if summary:
+            print(summary)
     if args.json is not None:
         save_results(aggregates, args.json)
         print(f"\nwrote results to {args.json}")

@@ -5,6 +5,14 @@ training split paired with freshly augmented variants each epoch,
 optimized with Adam under the combined contrastive loss.  A 10%
 validation split tracks generalization and the best-validation weights
 are restored at the end.
+
+The loop carries numerical guard rails
+(:class:`~repro.runtime.DivergenceGuard`): a NaN/Inf epoch loss or an
+exploding gradient rolls the encoder back to the last good weights with
+a learning-rate backoff (rebuilding the optimizer, whose moments the
+bad step poisoned); after too many rollbacks training aborts and still
+returns the best-validation encoder seen so far, flagged
+``diverged=True``.
 """
 
 from __future__ import annotations
@@ -15,7 +23,9 @@ import numpy as np
 
 from .. import nn
 from ..augment import augment_batch
+from ..runtime import DivergenceGuard
 from ..signal.windows import WindowPlan, plan_windows, sliding_windows
+from ..validation import ensure_series, ensure_variation
 from .config import TriADConfig
 from .encoder import TriDomainEncoder
 from .features import extract_all_domains
@@ -26,13 +36,20 @@ __all__ = ["TrainResult", "train_encoder"]
 
 @dataclass
 class TrainResult:
-    """A fitted encoder plus the segmentation plan and loss history."""
+    """A fitted encoder plus the segmentation plan and loss history.
+
+    ``rollbacks`` counts divergence-guard interventions; ``diverged``
+    marks a run aborted after exhausting its rollback budget (the
+    encoder still holds the best-validation weights observed).
+    """
 
     encoder: TriDomainEncoder
     plan: WindowPlan
     config: TriADConfig
     train_losses: list[float] = field(default_factory=list)
     val_losses: list[float] = field(default_factory=list)
+    rollbacks: int = 0
+    diverged: bool = False
 
 
 def _batches(count: int, batch_size: int, rng: np.random.Generator):
@@ -52,8 +69,15 @@ def _epoch_loss(
     config: TriADConfig,
     rng: np.random.Generator,
     optimizer: nn.Adam | None,
+    grad_norms: list[float] | None = None,
 ) -> float:
-    """One pass over ``windows``; updates weights when ``optimizer`` given."""
+    """One pass over ``windows``; updates weights when ``optimizer`` given.
+
+    A batch whose loss is non-finite is recorded but *not* backpropagated
+    (its gradients would poison the weights and optimizer moments); the
+    NaN still surfaces in the epoch mean so the divergence guard fires.
+    Pre-clip gradient norms are appended to ``grad_norms`` when given.
+    """
     losses = []
     for batch_idx in _batches(len(windows), config.batch_size, rng):
         batch = windows[batch_idx]
@@ -70,22 +94,36 @@ def _epoch_loss(
             use_intra=config.use_intra,
             use_inter=config.use_inter,
         )
-        if optimizer is not None:
+        value = float(loss.data)
+        if optimizer is not None and np.isfinite(value):
             optimizer.zero_grad()
             loss.backward()
-            nn.clip_grad_norm(encoder.parameters(), config.grad_clip)
+            norm = nn.clip_grad_norm(encoder.parameters(), config.grad_clip)
+            if grad_norms is not None:
+                grad_norms.append(norm)
             optimizer.step()
-        losses.append(float(loss.data))
+        losses.append(value)
     return float(np.mean(losses)) if losses else 0.0
 
 
-def train_encoder(train_series: np.ndarray, config: TriADConfig) -> TrainResult:
+def train_encoder(
+    train_series: np.ndarray,
+    config: TriADConfig,
+    guard: DivergenceGuard | None = None,
+) -> TrainResult:
     """Fit a :class:`TriDomainEncoder` on an anomaly-free training series.
 
     Returns the encoder with its best-validation weights restored,
-    together with the window plan used for segmentation.
+    together with the window plan used for segmentation.  ``guard``
+    customizes divergence handling (rollback budget, LR backoff); the
+    default tolerates two rollbacks before aborting.
+
+    Raises ``ValueError`` when the series is non-finite, constant, or so
+    short that the window plan cannot form a single contrastive batch.
     """
-    train_series = np.asarray(train_series, dtype=np.float64)
+    train_series = ensure_series(train_series, "train_series")
+    ensure_variation(train_series, "train_series")
+    guard = guard if guard is not None else DivergenceGuard()
     rng = np.random.default_rng(config.seed)
     plan = plan_windows(
         train_series,
@@ -103,16 +141,44 @@ def train_encoder(train_series: np.ndarray, config: TriADConfig) -> TrainResult:
     val_windows = windows[order[:val_count]]
     fit_windows = windows[order[val_count:]]
 
+    if len(fit_windows) < 2:
+        raise ValueError(
+            f"window plan yields {len(fit_windows)} training window(s) of "
+            f"length {plan.length} (series length {len(train_series)}); a "
+            "contrastive batch needs at least 2 — provide a longer series "
+            "or lower min_window / periods_per_window"
+        )
+
     encoder = TriDomainEncoder(config, rng=np.random.default_rng(config.seed))
-    optimizer = nn.Adam(encoder.parameters(), lr=config.learning_rate)
+    learning_rate = config.learning_rate
+    optimizer = nn.Adam(encoder.parameters(), lr=learning_rate)
     result = TrainResult(encoder=encoder, plan=plan, config=config)
 
     best_val = np.inf
     best_state = encoder.state_dict()
+    last_good = encoder.state_dict()
     for _ in range(config.epochs):
         encoder.train()
-        train_loss = _epoch_loss(encoder, fit_windows, plan.period, config, rng, optimizer)
+        grad_norms: list[float] = []
+        train_loss = _epoch_loss(
+            encoder, fit_windows, plan.period, config, rng, optimizer, grad_norms
+        )
+        worst_norm = max(grad_norms) if grad_norms else None
+        verdict = guard.assess(train_loss, worst_norm)
+        if verdict != "ok":
+            # Roll back to the last finite weights; the optimizer moments
+            # may be poisoned, so rebuild it at the backed-off rate.
+            encoder.load_state_dict(last_good)
+            learning_rate = guard.backed_off_lr(learning_rate)
+            optimizer = nn.Adam(encoder.parameters(), lr=learning_rate)
+            result.rollbacks += 1
+            result.train_losses.append(train_loss)
+            if verdict == "abort":
+                result.diverged = True
+                break
+            continue
         result.train_losses.append(train_loss)
+        last_good = encoder.state_dict()
         if val_count:
             encoder.eval()
             with nn.no_grad():
@@ -125,5 +191,7 @@ def train_encoder(train_series: np.ndarray, config: TriADConfig) -> TrainResult:
                 best_state = encoder.state_dict()
     if val_count and result.val_losses:
         encoder.load_state_dict(best_state)
+    elif result.diverged:
+        encoder.load_state_dict(last_good)
     encoder.eval()
     return result

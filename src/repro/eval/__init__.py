@@ -1,8 +1,8 @@
 """Evaluation harness: archive runner, table rendering, experiment registry."""
 
 from .experiments import BENCH_SEEDS, EXPERIMENTS, Experiment, bench_archive, bench_config
-from .persistence import load_results, per_type_breakdown, save_results
-from .reporting import build_report, write_report
+from .persistence import SweepCheckpoint, load_results, per_type_breakdown, save_results
+from .reporting import build_report, render_failure_summary, write_report
 from .runner import (
     METRIC_NAMES,
     SCORE_METRIC_NAMES,
@@ -31,6 +31,8 @@ __all__ = [
     "run_on_archive",
     "run_scores_on_archive",
     "render_table",
+    "render_failure_summary",
+    "SweepCheckpoint",
     "load_results",
     "per_type_breakdown",
     "save_results",

@@ -1,7 +1,14 @@
-"""Persist and reload evaluation results as JSON.
+"""Persist and reload evaluation results.
 
-Lets the benchmark harness accumulate results across runs and lets
-users diff detector leaderboards between code versions.
+Two layers:
+
+* :func:`save_results` / :func:`load_results` — whole-sweep JSON
+  snapshots for diffing detector leaderboards between code versions.
+* :class:`SweepCheckpoint` — an append-only JSONL journal written
+  *during* a sweep, one line per completed (dataset, seed) unit (result
+  or failure), so an interrupted archive run resumes from the last
+  completed unit instead of starting over.  Corrupt trailing lines
+  (a process killed mid-write) are tolerated and ignored.
 """
 
 from __future__ import annotations
@@ -9,10 +16,17 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict
+from pathlib import Path
 
+from ..runtime import FailureReport
 from .runner import AggregateScores, DatasetScores
 
-__all__ = ["save_results", "load_results", "per_type_breakdown"]
+__all__ = [
+    "save_results",
+    "load_results",
+    "per_type_breakdown",
+    "SweepCheckpoint",
+]
 
 
 def save_results(aggregates: list[AggregateScores], path: str | os.PathLike) -> None:
@@ -23,6 +37,8 @@ def save_results(aggregates: list[AggregateScores], path: str | os.PathLike) -> 
             "mean": agg.mean,
             "std": agg.std,
             "per_run": [asdict(run) for run in agg.per_run],
+            "failures": [f.to_dict() for f in agg.failures],
+            "coverage": agg.coverage,
         }
         for agg in aggregates
     ]
@@ -31,7 +47,10 @@ def save_results(aggregates: list[AggregateScores], path: str | os.PathLike) -> 
 
 
 def load_results(path: str | os.PathLike) -> list[AggregateScores]:
-    """Reload results saved with :func:`save_results`."""
+    """Reload results saved with :func:`save_results`.
+
+    Tolerates files written before failure/coverage accounting existed.
+    """
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
     aggregates = []
@@ -42,9 +61,89 @@ def load_results(path: str | os.PathLike) -> list[AggregateScores]:
                 mean=entry["mean"],
                 std=entry["std"],
                 per_run=[DatasetScores(**run) for run in entry["per_run"]],
+                failures=[
+                    FailureReport.from_dict(f) for f in entry.get("failures", [])
+                ],
+                coverage=entry.get("coverage", 1.0),
             )
         )
     return aggregates
+
+
+class SweepCheckpoint:
+    """Append-only JSONL journal of completed sweep units.
+
+    Each line is ``{"kind": "result"|"failure", ...}`` keyed by
+    (dataset, seed).  The archive runners consult :meth:`load` before
+    running a unit and splice recorded outcomes in, so a killed sweep
+    re-runs only the missing units; recorded failures are also skipped
+    (use :meth:`clear_failures` to grant failed units a fresh run).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    def load(
+        self,
+    ) -> tuple[dict[tuple[str, int], DatasetScores], dict[tuple[str, int], FailureReport]]:
+        """Parse the journal into (results, failures) keyed by unit.
+
+        Later entries win over earlier ones for the same unit; lines
+        that fail to parse (torn writes) are skipped.
+        """
+        results: dict[tuple[str, int], DatasetScores] = {}
+        failures: dict[tuple[str, int], FailureReport] = {}
+        if not self.path.exists():
+            return results, failures
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                kind = entry.pop("kind", None)
+                try:
+                    if kind == "result":
+                        run = DatasetScores(**entry)
+                        key = (run.dataset, run.seed)
+                        results[key] = run
+                        failures.pop(key, None)
+                    elif kind == "failure":
+                        report = FailureReport.from_dict(entry)
+                        key = (report.dataset, report.seed)
+                        failures[key] = report
+                        results.pop(key, None)
+                except TypeError:
+                    continue
+        return results, failures
+
+    def append_result(self, run: DatasetScores) -> None:
+        self._append({"kind": "result", **asdict(run)})
+
+    def append_failure(self, failure: FailureReport) -> None:
+        self._append({"kind": "failure", **failure.to_dict()})
+
+    def clear_failures(self) -> int:
+        """Drop failure lines so those units re-run on resume.
+
+        Returns the number of failures cleared.
+        """
+        results, failures = self.load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w", encoding="utf-8") as handle:
+            for run in results.values():
+                handle.write(json.dumps({"kind": "result", **asdict(run)}) + "\n")
+        return len(failures)
+
+    def _append(self, payload: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
 
 def per_type_breakdown(

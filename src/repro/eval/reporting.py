@@ -13,7 +13,42 @@ from pathlib import Path
 
 from .experiments import EXPERIMENTS
 
-__all__ = ["build_report", "write_report"]
+__all__ = ["build_report", "write_report", "render_failure_summary"]
+
+
+def render_failure_summary(aggregate) -> str:
+    """Coverage line plus one row per recorded failure for a sweep.
+
+    Returns an empty string for a fully-covered, failure-free aggregate
+    so callers can print it unconditionally.
+    """
+    from .tables import render_table
+
+    lines: list[str] = []
+    if aggregate.failures or aggregate.coverage < 1.0:
+        completed = len(aggregate.per_run)
+        total = completed + len(aggregate.failures)
+        lines.append(
+            f"coverage: {aggregate.coverage:.1%} "
+            f"({completed}/{total} units completed)"
+        )
+    if aggregate.failures:
+        rows = [
+            [f.dataset, str(f.seed), f.stage, f.error_type, str(f.attempts), f.message]
+            for f in aggregate.failures
+        ]
+        lines.append(
+            render_table(
+                ["Dataset", "Seed", "Stage", "Error", "Attempts", "Message"],
+                rows,
+                title=f"Failures: {aggregate.detector}",
+            )
+        )
+    warned = [run for run in aggregate.per_run if run.warnings]
+    for run in warned:
+        for note in run.warnings:
+            lines.append(f"warning: {run.dataset} (seed {run.seed}): {note}")
+    return "\n".join(lines)
 
 # Result-file stem -> experiment id (a bench may emit several artifacts).
 _ARTIFACT_EXPERIMENTS = {

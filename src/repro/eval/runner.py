@@ -5,12 +5,23 @@ archive of datasets and multiple seeds, scores every prediction with
 the full metric suite (F1-PW, F1-PA, PA%K AUCs, affiliation), and
 aggregates to mean +/- std across seeds — the protocol behind the
 paper's Table III.
+
+Both runners accept an optional :class:`~repro.runtime.RetryPolicy`:
+without one they crash through (any exception aborts the sweep, the
+historical behavior); with one each (dataset, seed) unit is isolated —
+bounded retries with deterministic reseeding and per-attempt budgets,
+exhausted units recorded as structured
+:class:`~repro.runtime.FailureReport` entries, and aggregation covering
+the survivors with explicit coverage accounting.  An optional
+:class:`~repro.eval.persistence.SweepCheckpoint` persists every
+completed unit incrementally so an interrupted sweep resumes from the
+last completed (dataset, seed) pair.  See ``docs/RESILIENCE.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Protocol
+from typing import Callable, Iterable, Protocol, Sequence
 
 import numpy as np
 
@@ -24,6 +35,8 @@ from ..metrics import (
     point_adjust,
     roc_auc,
 )
+from ..runtime import FailureReport, InvalidOutputError, RetryPolicy
+from ..validation import validate_dataset
 
 __all__ = [
     "Detector",
@@ -75,16 +88,25 @@ class DatasetScores:
     dataset: str
     seed: int
     metrics: dict[str, float]
+    warnings: list[str] = field(default_factory=list)
+    attempts: int = 1
 
 
 @dataclass
 class AggregateScores:
-    """Mean and std (across seeds) of per-metric archive averages."""
+    """Mean and std (across seeds) of per-metric archive averages.
+
+    ``failures`` and ``coverage`` account for resilient sweeps: when a
+    retry policy isolates failing units, the aggregates cover only the
+    surviving runs and ``coverage`` reports completed / scheduled units.
+    """
 
     detector: str
     mean: dict[str, float]
     std: dict[str, float]
     per_run: list[DatasetScores] = field(default_factory=list)
+    failures: list[FailureReport] = field(default_factory=list)
+    coverage: float = 1.0
 
     def row(self, metrics: Iterable[str] = METRIC_NAMES) -> list[str]:
         """Formatted ``mean+/-std`` cells for table rendering."""
@@ -94,8 +116,27 @@ class AggregateScores:
         return cells
 
 
-def evaluate_predictions(predictions: np.ndarray, labels: np.ndarray) -> dict[str, float]:
-    """Score one prediction array with every paper metric."""
+def evaluate_predictions(
+    predictions: np.ndarray,
+    labels: np.ndarray,
+    warnings: list[str] | None = None,
+) -> dict[str, float]:
+    """Score one prediction array with every paper metric.
+
+    Non-finite predictions are treated as "no detection" (0) rather
+    than poisoning every downstream aggregate; the substitution is
+    recorded in ``warnings`` when a list is supplied.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64)
+    finite = np.isfinite(predictions)
+    if not finite.all():
+        bad = int(np.sum(~finite))
+        if warnings is not None:
+            warnings.append(
+                f"{bad} non-finite prediction(s) treated as 0 (no detection)"
+            )
+        predictions = np.where(finite, predictions, 0.0)
+    predictions = (predictions > 0).astype(np.int64)
     curve = pa_k_auc(predictions, labels)
     affiliation = affiliation_metrics(predictions, labels)
     return {
@@ -110,8 +151,35 @@ def evaluate_predictions(predictions: np.ndarray, labels: np.ndarray) -> dict[st
     }
 
 
-def evaluate_scores(scores: np.ndarray, labels: np.ndarray) -> dict[str, float]:
-    """Threshold-free metrics for one continuous score array."""
+def evaluate_scores(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    warnings: list[str] | None = None,
+) -> dict[str, float]:
+    """Threshold-free metrics for one continuous score array.
+
+    Degenerate score arrays no longer propagate NaN into aggregates:
+    non-finite entries are replaced with the minimum finite score (or
+    0.0 when nothing is finite, collapsing to the chance-level constant
+    case), and constant scores are flagged.  Each substitution appends
+    an explanation to ``warnings`` when a list is supplied.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    finite = np.isfinite(scores)
+    if not finite.all():
+        fill = float(scores[finite].min()) if finite.any() else 0.0
+        bad = int(np.sum(~finite))
+        if warnings is not None:
+            warnings.append(
+                f"{bad} non-finite score(s) replaced with {fill} "
+                "(worst case: ranked below every finite score)"
+            )
+        scores = np.where(finite, scores, fill)
+    if scores.size and float(scores.min()) == float(scores.max()):
+        if warnings is not None:
+            warnings.append(
+                "constant scores: ranking metrics degenerate to chance level"
+            )
     best_f1, _ = best_f1_over_thresholds(scores, labels)
     return {
         "roc_auc": roc_auc(scores, labels),
@@ -120,11 +188,214 @@ def evaluate_scores(scores: np.ndarray, labels: np.ndarray) -> dict[str, float]:
     }
 
 
+# ----------------------------------------------------------------------
+# Sweep core shared by the binary and score runners
+# ----------------------------------------------------------------------
+
+
+class _Unit:
+    """Mutable context for one (dataset, seed) attempt — tracks the
+    active stage so a failure is attributed to validate/fit/predict/
+    score/evaluate."""
+
+    def __init__(self) -> None:
+        self.stage = "validate"
+
+
+def _check_output(out: np.ndarray, dataset: Dataset, kind: str) -> np.ndarray:
+    """Reject wrong-shaped output; binary predictions must also be finite
+    (scores get worst-case substitution in :func:`evaluate_scores`)."""
+    out = np.asarray(out)
+    if out.ndim != 1 or len(out) != len(dataset.test):
+        raise InvalidOutputError(
+            f"{kind} shape {out.shape} does not match test shape "
+            f"({len(dataset.test)},) on {dataset.name}"
+        )
+    return out
+
+
+def _run_unit_binary(
+    detector, dataset: Dataset, seed: int, unit: _Unit, budget, on_detection
+) -> DatasetScores:
+    unit.stage = "fit"
+    detector.fit(dataset.train)
+    if budget is not None:
+        budget.check_time()
+    unit.stage = "predict"
+    predictions = _check_output(detector.predict(dataset.test), dataset, "predictions")
+    if not np.all(np.isfinite(np.asarray(predictions, dtype=np.float64))):
+        raise InvalidOutputError(
+            f"predictions contain non-finite values on {dataset.name}"
+        )
+    if budget is not None:
+        budget.check_time()
+    unit.stage = "evaluate"
+    notes: list[str] = []
+    metrics = evaluate_predictions(predictions, dataset.labels, warnings=notes)
+    if on_detection is not None:
+        on_detection(dataset, seed, detector, predictions)
+    return DatasetScores(dataset=dataset.name, seed=seed, metrics=metrics, warnings=notes)
+
+
+def _run_unit_scores(
+    detector, dataset: Dataset, seed: int, unit: _Unit, budget, on_detection
+) -> DatasetScores:
+    unit.stage = "fit"
+    detector.fit(dataset.train)
+    if budget is not None:
+        budget.check_time()
+    unit.stage = "score"
+    scores = _check_output(detector.score_series(dataset.test), dataset, "scores")
+    if not np.all(np.isfinite(np.asarray(scores, dtype=np.float64))):
+        raise InvalidOutputError(f"scores contain non-finite values on {dataset.name}")
+    if budget is not None:
+        budget.check_time()
+    unit.stage = "evaluate"
+    notes: list[str] = []
+    metrics = evaluate_scores(scores, dataset.labels, warnings=notes)
+    return DatasetScores(dataset=dataset.name, seed=seed, metrics=metrics, warnings=notes)
+
+
+def _attempt_unit(
+    name: str,
+    factory: Callable[[int], object],
+    dataset: Dataset,
+    seed: int,
+    policy: RetryPolicy,
+    run_unit,
+    on_detection,
+) -> DatasetScores | FailureReport:
+    """Run one unit under a retry policy; never raises retryable errors."""
+    unit = _Unit()
+    try:
+        validate_dataset(dataset)
+    except policy.retry_on as error:  # deterministic — no point retrying
+        return FailureReport(
+            dataset=dataset.name,
+            seed=seed,
+            stage="validate",
+            error_type=type(error).__name__,
+            message=str(error),
+            attempts=1,
+            detector=name,
+        )
+    last_error: BaseException | None = None
+    for attempt in range(policy.attempts()):
+        if attempt:
+            policy.pause(attempt)
+        budget = policy.spawn_budget()
+        unit.stage = "fit"
+        try:
+            detector = factory(policy.reseed(seed, attempt))
+            if budget is not None and hasattr(detector, "set_budget"):
+                detector.set_budget(budget)
+            result = run_unit(detector, dataset, seed, unit, budget, on_detection)
+            result.attempts = attempt + 1
+            return result
+        except policy.retry_on as error:
+            last_error = error
+    assert last_error is not None
+    return FailureReport(
+        dataset=dataset.name,
+        seed=seed,
+        stage=unit.stage,
+        error_type=type(last_error).__name__,
+        message=str(last_error),
+        attempts=policy.attempts(),
+        detector=name,
+    )
+
+
+def _sweep(
+    name: str,
+    factory: Callable[[int], object],
+    datasets: list[Dataset],
+    seeds: Sequence[int],
+    metric_names: tuple[str, ...],
+    run_unit,
+    policy: RetryPolicy | None,
+    checkpoint,
+    on_detection,
+) -> AggregateScores:
+    per_run: list[DatasetScores] = []
+    failures: list[FailureReport] = []
+    cached_results: dict[tuple[str, int], DatasetScores] = {}
+    cached_failures: dict[tuple[str, int], FailureReport] = {}
+    if checkpoint is not None:
+        cached_results, cached_failures = checkpoint.load()
+
+    required = set(metric_names)
+    for seed in seeds:
+        for dataset in datasets:
+            key = (dataset.name, seed)
+            # Splice a cached unit only if it carries this sweep's metrics
+            # (a journal written by the other runner mode is re-run, not
+            # trusted).
+            if key in cached_results and required <= set(cached_results[key].metrics):
+                per_run.append(cached_results[key])
+                continue
+            if key in cached_failures:
+                failures.append(cached_failures[key])
+                continue
+            if policy is None:
+                validate_dataset(dataset)
+                unit = _Unit()
+                outcome = run_unit(factory(seed), dataset, seed, unit, None, on_detection)
+            else:
+                outcome = _attempt_unit(
+                    name, factory, dataset, seed, policy, run_unit, on_detection
+                )
+            if isinstance(outcome, FailureReport):
+                failures.append(outcome)
+                if checkpoint is not None:
+                    checkpoint.append_failure(outcome)
+            else:
+                per_run.append(outcome)
+                if checkpoint is not None:
+                    checkpoint.append_result(outcome)
+
+    # Per-seed archive averages over surviving runs, then mean/std across
+    # seeds that have at least one survivor.
+    seed_means: dict[int, dict[str, float]] = {}
+    for seed in seeds:
+        runs = [r for r in per_run if r.seed == seed]
+        if runs:
+            seed_means[seed] = {
+                m: float(np.mean([r.metrics[m] for r in runs])) for m in metric_names
+            }
+    live_seeds = [s for s in seeds if s in seed_means]
+    if live_seeds:
+        mean = {
+            m: float(np.mean([seed_means[s][m] for s in live_seeds]))
+            for m in metric_names
+        }
+        std = {
+            m: float(np.std([seed_means[s][m] for s in live_seeds]))
+            for m in metric_names
+        }
+    else:
+        mean = {m: float("nan") for m in metric_names}
+        std = {m: float("nan") for m in metric_names}
+
+    total = len(list(seeds)) * len(datasets)
+    coverage = len(per_run) / total if total else 1.0
+    return AggregateScores(
+        detector=name,
+        mean=mean,
+        std=std,
+        per_run=per_run,
+        failures=failures,
+        coverage=coverage,
+    )
+
+
 def run_scores_on_archive(
     name: str,
     factory: Callable[[int], ScoringDetector],
     datasets: list[Dataset],
     seeds: Iterable[int] = (0,),
+    policy: RetryPolicy | None = None,
+    checkpoint=None,
 ) -> AggregateScores:
     """Score-based analogue of :func:`run_on_archive`.
 
@@ -133,28 +404,21 @@ def run_scores_on_archive(
     comparing score quality independent of threshold calibration — with
     the caveat (paper Sec. II-B) that oracle-threshold numbers flatter
     every method.
+
+    ``policy`` / ``checkpoint`` enable fault isolation and incremental
+    resume; see the module docstring.
     """
-    per_run: list[DatasetScores] = []
-    seeds = list(seeds)
-    seed_means: dict[int, dict[str, float]] = {}
-    for seed in seeds:
-        seed_metrics: dict[str, list[float]] = {m: [] for m in SCORE_METRIC_NAMES}
-        for dataset in datasets:
-            detector = factory(seed)
-            detector.fit(dataset.train)
-            scores = detector.score_series(dataset.test)
-            metrics = evaluate_scores(scores, dataset.labels)
-            per_run.append(DatasetScores(dataset=dataset.name, seed=seed, metrics=metrics))
-            for key, value in metrics.items():
-                seed_metrics[key].append(value)
-        seed_means[seed] = {m: float(np.mean(v)) for m, v in seed_metrics.items()}
-    mean = {
-        m: float(np.mean([seed_means[s][m] for s in seeds])) for m in SCORE_METRIC_NAMES
-    }
-    std = {
-        m: float(np.std([seed_means[s][m] for s in seeds])) for m in SCORE_METRIC_NAMES
-    }
-    return AggregateScores(detector=name, mean=mean, std=std, per_run=per_run)
+    return _sweep(
+        name,
+        factory,
+        datasets,
+        list(seeds),
+        SCORE_METRIC_NAMES,
+        _run_unit_scores,
+        policy,
+        checkpoint,
+        on_detection=None,
+    )
 
 
 def run_on_archive(
@@ -163,6 +427,8 @@ def run_on_archive(
     datasets: list[Dataset],
     seeds: Iterable[int] = (0,),
     on_detection: Callable[[Dataset, int, Detector, np.ndarray], None] | None = None,
+    policy: RetryPolicy | None = None,
+    checkpoint=None,
 ) -> AggregateScores:
     """Evaluate ``factory(seed)`` detectors over datasets and seeds.
 
@@ -176,28 +442,25 @@ def run_on_archive(
         Optional hook receiving every (dataset, seed, detector,
         predictions) — used by benches that also need timing or window
         information.
+    policy:
+        When given, each (dataset, seed) unit is isolated: retried per
+        the policy (with reseeding and per-attempt budgets) and, if
+        exhausted, recorded as a :class:`FailureReport` while the sweep
+        continues over the survivors.  Without a policy, exceptions
+        propagate (historical crash-through behavior).
+    checkpoint:
+        Optional :class:`~repro.eval.persistence.SweepCheckpoint`;
+        completed units are persisted incrementally and an interrupted
+        sweep re-runs only the missing ones.
     """
-    per_run: list[DatasetScores] = []
-    seed_means: dict[int, dict[str, float]] = {}
-    seeds = list(seeds)
-    for seed in seeds:
-        seed_metrics: dict[str, list[float]] = {m: [] for m in METRIC_NAMES}
-        for dataset in datasets:
-            detector = factory(seed)
-            detector.fit(dataset.train)
-            predictions = detector.predict(dataset.test)
-            metrics = evaluate_predictions(predictions, dataset.labels)
-            per_run.append(DatasetScores(dataset=dataset.name, seed=seed, metrics=metrics))
-            for key, value in metrics.items():
-                seed_metrics[key].append(value)
-            if on_detection is not None:
-                on_detection(dataset, seed, detector, predictions)
-        seed_means[seed] = {m: float(np.mean(v)) for m, v in seed_metrics.items()}
-
-    mean = {
-        m: float(np.mean([seed_means[s][m] for s in seeds])) for m in METRIC_NAMES
-    }
-    std = {
-        m: float(np.std([seed_means[s][m] for s in seeds])) for m in METRIC_NAMES
-    }
-    return AggregateScores(detector=name, mean=mean, std=std, per_run=per_run)
+    return _sweep(
+        name,
+        factory,
+        datasets,
+        list(seeds),
+        METRIC_NAMES,
+        _run_unit_binary,
+        policy,
+        checkpoint,
+        on_detection,
+    )

@@ -1,0 +1,40 @@
+"""Fault-tolerant evaluation runtime.
+
+Resilience primitives for archive-scale sweeps and training runs:
+retry/budget policies (:mod:`.policy`), structured failure records
+(:mod:`.failures`), training divergence guards (:mod:`.guards`), and a
+deterministic fault-injection harness (:mod:`.chaos`) that proves every
+degradation path under test.  See ``docs/RESILIENCE.md``.
+"""
+
+from .chaos import (
+    FAULT_MODES,
+    ChaosDetector,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    chaos_factory,
+    fingerprint,
+    flaky,
+)
+from .failures import STAGES, FailureReport, InvalidOutputError
+from .guards import DivergenceGuard
+from .policy import BudgetExceededError, RetryPolicy, RunBudget
+
+__all__ = [
+    "BudgetExceededError",
+    "RetryPolicy",
+    "RunBudget",
+    "FailureReport",
+    "InvalidOutputError",
+    "STAGES",
+    "DivergenceGuard",
+    "InjectedFault",
+    "Fault",
+    "FaultPlan",
+    "ChaosDetector",
+    "chaos_factory",
+    "fingerprint",
+    "flaky",
+    "FAULT_MODES",
+]

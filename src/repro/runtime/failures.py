@@ -1,0 +1,70 @@
+"""Structured failure records for archive sweeps.
+
+When a (dataset, seed) unit exhausts its retries, the runner records a
+:class:`FailureReport` naming exactly where it died — which dataset,
+which seed, which stage (validate / fit / predict / score / evaluate) —
+so a thousand-dataset sweep degrades into "998 results + 2 attributed
+failures" instead of a stack trace and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["FailureReport", "InvalidOutputError", "STAGES"]
+
+STAGES = ("validate", "fit", "predict", "score", "evaluate")
+
+
+class InvalidOutputError(ValueError):
+    """A detector returned output the runner cannot score.
+
+    Raised when predictions/scores have the wrong shape or contain
+    non-finite values; treated like any other unit failure (retryable,
+    then recorded).
+    """
+
+
+@dataclass
+class FailureReport:
+    """Where and why one (dataset, seed) unit died.
+
+    Attributes
+    ----------
+    dataset / seed:
+        The unit that failed.
+    stage:
+        One of :data:`STAGES` — the pipeline stage active when the final
+        attempt raised.
+    error_type / message:
+        Exception class name and message of the final attempt.
+    attempts:
+        Total attempts consumed (1 = failed without retry budget).
+    detector:
+        Name of the detector being swept, for multi-detector reports.
+    """
+
+    dataset: str
+    seed: int
+    stage: str
+    error_type: str
+    message: str
+    attempts: int = 1
+    detector: str = ""
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FailureReport":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        prefix = f"{self.detector}: " if self.detector else ""
+        return (
+            f"{prefix}{self.dataset} (seed {self.seed}) failed at stage "
+            f"'{self.stage}' after {self.attempts} attempt(s): "
+            f"{self.error_type}: {self.message}"
+        )

@@ -1,0 +1,59 @@
+"""Numerical guard rails for training loops.
+
+Contrastive training on pathological inputs (near-constant windows,
+extreme amplitudes) can blow up: NaN/Inf losses poison the optimizer
+moments and every later epoch.  :class:`DivergenceGuard` watches epoch
+loss and gradient norms, and tells the trainer to roll back to the last
+good weights with a learning-rate backoff — or, after too many
+rollbacks, to abort and return the best-validation encoder seen so far.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["DivergenceGuard"]
+
+
+@dataclass
+class DivergenceGuard:
+    """Epoch-level divergence detector with bounded rollbacks.
+
+    Parameters
+    ----------
+    max_rollbacks:
+        Rollbacks allowed before training is declared divergent and
+        aborted (the trainer still returns the best-validation weights).
+    lr_backoff:
+        Multiplier applied to the learning rate on every rollback.
+    max_grad_norm:
+        Pre-clip gradient norms above this are treated as an explosion
+        even when the loss is still finite.  Generous by default so
+        healthy runs never trip it (the trainer clips at ~5 anyway;
+        this catches the pathological orders-of-magnitude case).
+    min_lr:
+        Floor for the backed-off learning rate.
+    """
+
+    max_rollbacks: int = 2
+    lr_backoff: float = 0.5
+    max_grad_norm: float = 1e6
+    min_lr: float = 1e-6
+    rollbacks: int = field(default=0, init=False)
+
+    def assess(self, loss: float, grad_norm: float | None = None) -> str:
+        """Classify one epoch: ``"ok"``, ``"rollback"``, or ``"abort"``."""
+        bad = not math.isfinite(loss)
+        if grad_norm is not None and (
+            not math.isfinite(grad_norm) or grad_norm > self.max_grad_norm
+        ):
+            bad = True
+        if not bad:
+            return "ok"
+        self.rollbacks += 1
+        return "abort" if self.rollbacks > self.max_rollbacks else "rollback"
+
+    def backed_off_lr(self, lr: float) -> float:
+        """Learning rate after one backoff step, floored at ``min_lr``."""
+        return max(lr * self.lr_backoff, self.min_lr)

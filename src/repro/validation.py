@@ -2,14 +2,23 @@
 
 Detectors and loaders accept user-supplied arrays; these helpers turn
 silent NaN propagation or cryptic downstream shape errors into clear
-exceptions at the API boundary.
+exceptions at the API boundary.  The archive runner calls
+:func:`validate_dataset` per dataset so a malformed entry becomes an
+attributed failure (or, without a retry policy, an immediate actionable
+error) instead of a stack trace deep inside feature extraction.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_series", "ensure_finite"]
+__all__ = [
+    "ensure_series",
+    "ensure_finite",
+    "ensure_variation",
+    "ensure_labels",
+    "validate_dataset",
+]
 
 
 def ensure_finite(x: np.ndarray, name: str = "series") -> np.ndarray:
@@ -28,6 +37,54 @@ def ensure_series(
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 1:
         raise ValueError(f"{name} must be 1-D, got shape {x.shape}")
+    if x.size == 0:
+        raise ValueError(f"{name} is empty")
     if len(x) < min_length:
         raise ValueError(f"{name} needs at least {min_length} points, got {len(x)}")
     return ensure_finite(x, name)
+
+
+def ensure_variation(x: np.ndarray, name: str = "series") -> np.ndarray:
+    """Reject constant series — no period, no contrast, no ranking signal."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size and float(np.min(x)) == float(np.max(x)):
+        raise ValueError(
+            f"{name} is constant (every value is {x.flat[0]!r}); "
+            "a constant series has no periodic structure to train or score on — "
+            "check the loader or drop this dataset"
+        )
+    return x
+
+
+def ensure_labels(
+    labels: np.ndarray, length: int, name: str = "labels"
+) -> np.ndarray:
+    """Validate binary point-wise labels matching the series length."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {labels.shape}")
+    if len(labels) != length:
+        raise ValueError(
+            f"{name} length {len(labels)} does not match its series length "
+            f"{length}; labels must mark every test point"
+        )
+    values = np.unique(labels)
+    if not np.all(np.isin(values, (0, 1))):
+        raise ValueError(
+            f"{name} must be binary (0/1), found values {values[:5].tolist()}"
+        )
+    return labels.astype(np.int64)
+
+
+def validate_dataset(dataset, min_length: int = 2) -> None:
+    """Validate one archive entry (``.train``, ``.test``, ``.labels``).
+
+    Checks both splits are 1-D, finite, non-empty and non-constant, and
+    that labels are binary with one entry per test point.  Raises
+    ``ValueError`` with the dataset name in the message.
+    """
+    name = getattr(dataset, "name", "<dataset>")
+    ensure_series(dataset.train, f"{name}.train", min_length=min_length)
+    ensure_variation(dataset.train, f"{name}.train")
+    test = ensure_series(dataset.test, f"{name}.test", min_length=min_length)
+    ensure_labels(dataset.labels, len(test), f"{name}.labels")

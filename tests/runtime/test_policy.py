@@ -1,0 +1,104 @@
+"""Retry/budget policy unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import BudgetExceededError, RetryPolicy, RunBudget
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestRunBudget:
+    def test_step_budget_exhausts(self):
+        budget = RunBudget(max_steps=3)
+        budget.tick()
+        budget.tick()
+        budget.tick()
+        with pytest.raises(BudgetExceededError, match="step budget"):
+            budget.tick()
+
+    def test_wall_budget_exhausts(self):
+        clock = FakeClock()
+        budget = RunBudget(max_seconds=10.0, clock=clock)
+        clock.now = 9.0
+        budget.check_time()
+        clock.now = 10.5
+        with pytest.raises(BudgetExceededError, match="wall budget"):
+            budget.check_time()
+
+    def test_tick_checks_wall_too(self):
+        clock = FakeClock()
+        budget = RunBudget(max_seconds=1.0, clock=clock)
+        clock.now = 2.0
+        with pytest.raises(BudgetExceededError):
+            budget.tick()
+
+    def test_unlimited_budget_never_raises(self):
+        budget = RunBudget()
+        for _ in range(1000):
+            budget.tick()
+        budget.check_time()
+
+    def test_spawn_resets_steps_and_deadline(self):
+        clock = FakeClock()
+        budget = RunBudget(max_steps=2, max_seconds=5.0, clock=clock)
+        budget.tick()
+        budget.tick()
+        clock.now = 4.0
+        fresh = budget.spawn()
+        assert fresh.steps == 0
+        clock.now = 8.0  # 4s after the spawn, within its own 5s allowance
+        fresh.check_time()
+        fresh.tick()
+        fresh.tick()
+        with pytest.raises(BudgetExceededError):
+            fresh.tick()
+
+
+class TestRetryPolicy:
+    def test_attempts_counts_first_try(self):
+        assert RetryPolicy(max_retries=0).attempts() == 1
+        assert RetryPolicy(max_retries=3).attempts() == 4
+
+    def test_negative_retries_clamp_to_single_attempt(self):
+        assert RetryPolicy(max_retries=-1).attempts() == 1
+
+    def test_reseed_identity_on_first_attempt(self):
+        policy = RetryPolicy()
+        assert policy.reseed(7, 0) == 7
+
+    def test_reseed_deterministic_and_distinct(self):
+        policy = RetryPolicy()
+        seeds = {policy.reseed(7, attempt) for attempt in range(4)}
+        assert len(seeds) == 4
+        assert policy.reseed(7, 2) == policy.reseed(7, 2)
+
+    def test_backoff_hook_drives_sleep(self):
+        slept: list[float] = []
+        policy = RetryPolicy(
+            backoff=lambda attempt: 0.1 * 2**attempt, sleep=slept.append
+        )
+        policy.pause(1)
+        policy.pause(2)
+        assert slept == [pytest.approx(0.2), pytest.approx(0.4)]
+
+    def test_no_backoff_no_sleep(self):
+        policy = RetryPolicy(sleep=lambda _s: pytest.fail("slept without backoff"))
+        policy.pause(1)
+
+    def test_spawn_budget_is_fresh_per_attempt(self):
+        policy = RetryPolicy(budget=RunBudget(max_steps=1))
+        first = policy.spawn_budget()
+        first.tick()
+        second = policy.spawn_budget()
+        assert second.steps == 0
+
+    def test_spawn_budget_none_when_unbudgeted(self):
+        assert RetryPolicy().spawn_budget() is None

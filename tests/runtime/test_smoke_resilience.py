@@ -1,0 +1,32 @@
+"""Tier-1 wiring for the resilience smoke scenario.
+
+Imports ``scripts/smoke_resilience.py`` and runs its scenario in-process
+so the tier-1 suite fails fast on any runtime-layer regression; the
+script stays runnable standalone for CI and manual checks.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "smoke_resilience.py"
+
+
+def _load_script():
+    spec = importlib.util.spec_from_file_location("smoke_resilience", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.resilience
+def test_smoke_resilience_scenario():
+    summary = _load_script().run_smoke()
+    assert summary["failures"] == 1
+    assert summary["survivors"] == 2
+    assert summary["healed_coverage"] == 1.0

@@ -1,0 +1,98 @@
+"""Training divergence-guard tests: NaN epochs roll back, repeated
+divergence aborts cleanly, bad inputs fail fast with clear messages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.augment import augment_batch
+from repro.core import TriADConfig, train_encoder
+from repro.runtime import DivergenceGuard, flaky
+
+
+@pytest.fixture
+def fast_config():
+    return TriADConfig(depth=1, hidden_dim=4, epochs=3, seed=0, max_window=96)
+
+
+def _poison_augment(monkeypatch, fail_calls):
+    """Make the trainer's augmentation emit NaN batches on chosen calls."""
+    monkeypatch.setattr(
+        "repro.core.trainer.augment_batch",
+        flaky(augment_batch, fail_calls=fail_calls, mode="nan"),
+    )
+
+
+class TestInputGuards:
+    def test_constant_series_rejected(self, fast_config):
+        with pytest.raises(ValueError, match="constant"):
+            train_encoder(np.ones(600), fast_config)
+
+    def test_nan_series_rejected(self, noisy_wave, fast_config):
+        bad = noisy_wave.copy()
+        bad[7] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            train_encoder(bad, fast_config)
+
+    def test_empty_series_rejected(self, fast_config):
+        with pytest.raises(ValueError, match="empty"):
+            train_encoder(np.array([]), fast_config)
+
+    def test_too_few_windows_raises_not_silent_zero(self):
+        """A series yielding <2 training windows used to 'train' with loss
+        0.0 forever; now it fails fast with an actionable message."""
+        t = np.arange(64)
+        series = np.sin(2 * np.pi * t / 16) + 0.01 * np.cos(t / 3.0)
+        config = TriADConfig(
+            depth=1, hidden_dim=4, epochs=1, seed=0, min_window=64, max_window=64
+        )
+        with pytest.raises(ValueError, match="contrastive batch"):
+            train_encoder(series, config)
+
+
+class TestDivergenceGuard:
+    def test_nan_epoch_rolls_back_and_recovers(self, noisy_wave, fast_config, monkeypatch):
+        _poison_augment(monkeypatch, fail_calls={0})  # poisons one batch of epoch 0
+        result = train_encoder(noisy_wave, fast_config)
+        assert result.rollbacks == 1
+        assert not result.diverged
+        assert np.isnan(result.train_losses[0])
+        assert all(np.isfinite(l) for l in result.train_losses[1:])
+        for _name, param in result.encoder.named_parameters():
+            assert np.all(np.isfinite(param.data))
+
+    def test_persistent_nan_aborts_with_finite_encoder(
+        self, noisy_wave, fast_config, monkeypatch
+    ):
+        _poison_augment(monkeypatch, fail_calls=range(10_000))
+        guard = DivergenceGuard(max_rollbacks=1)
+        result = train_encoder(noisy_wave, fast_config, guard=guard)
+        assert result.diverged
+        assert result.rollbacks == 2
+        assert len(result.train_losses) == 2  # aborted before epoch 3
+        for _name, param in result.encoder.named_parameters():
+            assert np.all(np.isfinite(param.data))
+
+    def test_grad_explosion_threshold_triggers(self, noisy_wave, fast_config):
+        guard = DivergenceGuard(max_rollbacks=0, max_grad_norm=1e-12)
+        result = train_encoder(noisy_wave, fast_config, guard=guard)
+        assert result.diverged
+        assert result.rollbacks == 1
+
+    def test_lr_backoff_applied_per_rollback(self):
+        guard = DivergenceGuard(lr_backoff=0.5, min_lr=1e-6)
+        assert guard.backed_off_lr(1e-3) == pytest.approx(5e-4)
+        assert guard.backed_off_lr(1e-6) == pytest.approx(1e-6)
+
+    def test_guard_counts_are_per_instance(self):
+        guard = DivergenceGuard(max_rollbacks=1)
+        assert guard.assess(float("nan")) == "rollback"
+        assert guard.assess(float("nan")) == "abort"
+        assert DivergenceGuard(max_rollbacks=1).assess(1.0) == "ok"
+
+    def test_clean_run_has_no_rollbacks(self, noisy_wave, fast_config):
+        result = train_encoder(noisy_wave, fast_config)
+        assert result.rollbacks == 0
+        assert not result.diverged
+        assert len(result.train_losses) == fast_config.epochs

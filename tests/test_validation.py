@@ -7,7 +7,14 @@ import pytest
 
 from repro import TriAD, TriADConfig
 from repro.baselines import LSTMAEDetector, OneLinerDetector
-from repro.validation import ensure_finite, ensure_series
+from repro.data import Dataset
+from repro.validation import (
+    ensure_finite,
+    ensure_labels,
+    ensure_series,
+    ensure_variation,
+    validate_dataset,
+)
 
 
 class TestHelpers:
@@ -33,6 +40,57 @@ class TestHelpers:
     def test_error_names_the_argument(self):
         with pytest.raises(ValueError, match="train_series"):
             ensure_series(np.zeros((2, 2)), name="train_series")
+
+
+class TestHardenedHelpers:
+    def test_empty_series_named_explicitly(self):
+        with pytest.raises(ValueError, match="empty"):
+            ensure_series(np.array([]), name="train_series")
+
+    def test_ensure_variation_rejects_constant(self):
+        with pytest.raises(ValueError, match="constant"):
+            ensure_variation(np.full(50, 3.2), name="train_series")
+
+    def test_ensure_variation_passes_varying(self, rng):
+        x = rng.normal(size=50)
+        assert ensure_variation(x) is x
+
+    def test_ensure_labels_length_mismatch(self):
+        with pytest.raises(ValueError, match="does not match"):
+            ensure_labels(np.zeros(9, dtype=int), length=10)
+
+    def test_ensure_labels_rejects_nonbinary(self):
+        with pytest.raises(ValueError, match="binary"):
+            ensure_labels(np.array([0, 1, 2]), length=3)
+
+    def test_ensure_labels_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            ensure_labels(np.zeros((2, 3), dtype=int), length=6)
+
+    def test_validate_dataset_accepts_clean(self, small_dataset):
+        validate_dataset(small_dataset)
+
+    def test_validate_dataset_names_the_dataset(self, small_dataset):
+        broken_train = small_dataset.train.copy()
+        broken_train[0] = np.inf
+        broken = Dataset(
+            name="bad_ds",
+            train=broken_train,
+            test=small_dataset.test,
+            labels=small_dataset.labels,
+        )
+        with pytest.raises(ValueError, match="bad_ds.train"):
+            validate_dataset(broken)
+
+    def test_validate_dataset_rejects_constant_train(self, small_dataset):
+        broken = Dataset(
+            name="flat_ds",
+            train=np.full_like(small_dataset.train, 1.5),
+            test=small_dataset.test,
+            labels=small_dataset.labels,
+        )
+        with pytest.raises(ValueError, match="constant"):
+            validate_dataset(broken)
 
 
 class TestTriADBoundaries:
