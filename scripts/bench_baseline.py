@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Run the observability hot-path benchmark suite and write BENCH_obs.json.
+
+Invokes ``benchmarks/bench_obs_hotpaths.py`` under pytest-benchmark,
+then condenses the full report into a small, diffable baseline at the
+repo root::
+
+    python scripts/bench_baseline.py [--out BENCH_obs.json]
+
+The condensed file keeps mean/min/stddev/rounds per benchmark plus the
+trainer instrumentation overhead ratio (obs-on mean / obs-off mean),
+which the acceptance gate requires to stay under 1.05.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_suite(raw_json: Path) -> int:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable, "-m", "pytest",
+        str(REPO_ROOT / "benchmarks" / "bench_obs_hotpaths.py"),
+        "-m", "bench",
+        "--benchmark-only",
+        "--benchmark-warmup=off",
+        f"--benchmark-json={raw_json}",
+        "-q",
+    ]
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def condense(raw_json: Path) -> dict:
+    report = json.loads(raw_json.read_text())
+    benchmarks: dict[str, dict] = {}
+    for entry in report.get("benchmarks", []):
+        stats = entry.get("stats", {})
+        benchmarks[entry["name"]] = {
+            "mean_s": stats.get("mean"),
+            "min_s": stats.get("min"),
+            "stddev_s": stats.get("stddev"),
+            "rounds": stats.get("rounds"),
+        }
+    payload: dict = {
+        "suite": "benchmarks/bench_obs_hotpaths.py",
+        "machine": report.get("machine_info", {}).get("machine"),
+        "python": report.get("machine_info", {}).get("python_version"),
+        "benchmarks": benchmarks,
+    }
+    off = benchmarks.get("test_trainer_epoch_obs_off", {}).get("mean_s")
+    on = benchmarks.get("test_trainer_epoch_obs_on", {}).get("mean_s")
+    if off and on:
+        payload["trainer_obs_overhead_ratio"] = round(on / off, 4)
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_obs.json")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_json = Path(tmp) / "benchmark-raw.json"
+        code = run_suite(raw_json)
+        if code != 0:
+            print(f"benchmark suite failed (exit {code})", file=sys.stderr)
+            return code
+        payload = condense(raw_json)
+
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    for name, stats in sorted(payload["benchmarks"].items()):
+        mean = stats.get("mean_s")
+        print(f"  {name}: mean {mean * 1e3:.3f}ms" if mean is not None
+              else f"  {name}: no stats")
+    ratio = payload.get("trainer_obs_overhead_ratio")
+    if ratio is not None:
+        print(f"  trainer obs overhead ratio: {ratio:.4f} (gate: < 1.05)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,8 @@ Commands
 ``compare``   Run a set of detectors over a small archive and print the
               Table III-style leaderboard.
 ``experiments``  List the paper artifacts and the bench regenerating each.
+``profile``   Summarize an observability JSONL export (``compare
+              --metrics-out``): top timed sections, counters, traces.
 ``report``    Stitch ``benchmarks/results/*.txt`` into one markdown report.
 ``tune``      Grid-search TriAD hyper-parameters on a small archive.
 """
@@ -75,8 +77,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--retry-failed", action="store_true",
                            help="clear failures recorded in the checkpoint so "
                                 "those units get a fresh run")
+    p_compare.add_argument("--metrics-out", type=Path, default=None,
+                           help="record observability metrics (counters, "
+                                "timers, events) during the run and export "
+                                "them as JSONL to this path")
+    p_compare.add_argument("--trace", action="store_true",
+                           help="also record nested spans (requires "
+                                "--metrics-out); view with 'repro profile'")
 
     sub.add_parser("experiments", help="list paper artifacts and benches")
+
+    p_profile = sub.add_parser(
+        "profile", help="summarize an observability JSONL export"
+    )
+    p_profile.add_argument("path", type=Path,
+                           help="metrics.jsonl written by --metrics-out")
+    p_profile.add_argument("--top", type=int, default=15,
+                           help="rows per section (default 15)")
 
     p_report = sub.add_parser("report", help="build a markdown report from bench results")
     p_report.add_argument("--results", type=Path, default=Path("benchmarks/results"))
@@ -209,63 +226,79 @@ def _cmd_compare(args) -> int:
         run_on_archive,
         run_scores_on_archive,
     )
+    from . import obs
     from .eval.persistence import save_results
     from .runtime import RetryPolicy, RunBudget
+
+    if args.trace and args.metrics_out is None:
+        print("--trace requires --metrics-out", file=sys.stderr)
+        return 2
+    session = None
+    if args.metrics_out is not None:
+        session = obs.install(trace=args.trace)
 
     archive = make_archive(size=args.size, seed=7, train_length=1600, test_length=2000)
     names = [n.strip() for n in args.detectors.split(",") if n.strip()]
 
-    policy = None
-    if args.retries is not None or args.budget_seconds is not None:
-        budget = (
-            RunBudget(max_seconds=args.budget_seconds)
-            if args.budget_seconds is not None
-            else None
-        )
-        policy = RetryPolicy(max_retries=args.retries or 0, budget=budget)
-    aggregates = []
-    for name in names:
-        if name == "triad":
-            if args.mode == "scores":
-                print("triad emits binary predictions; use --mode binary",
-                      file=sys.stderr)
-                return 2
-            factory = lambda s: TriAD(  # noqa: E731 - tiny adapter
-                TriADConfig(epochs=args.epochs, seed=s, max_window=256)
+    try:
+        policy = None
+        if args.retries is not None or args.budget_seconds is not None:
+            budget = (
+                RunBudget(max_seconds=args.budget_seconds)
+                if args.budget_seconds is not None
+                else None
             )
-        elif name in _DETECTOR_FACTORIES:
-            base = _DETECTOR_FACTORIES[name]
-            factory = lambda s, base=base: base(s, args.epochs)
-        else:
-            print(f"unknown detector {name!r}", file=sys.stderr)
-            return 2
-        runner = run_scores_on_archive if args.mode == "scores" else run_on_archive
-        checkpoint = None
-        if args.checkpoint is not None:
-            args.checkpoint.mkdir(parents=True, exist_ok=True)
-            checkpoint = SweepCheckpoint(args.checkpoint / f"{name}.{args.mode}.jsonl")
-            if args.retry_failed:
-                cleared = checkpoint.clear_failures()
-                if cleared:
-                    print(f"cleared {cleared} recorded failure(s) for {name}",
+            policy = RetryPolicy(max_retries=args.retries or 0, budget=budget)
+        aggregates = []
+        for name in names:
+            if name == "triad":
+                if args.mode == "scores":
+                    print("triad emits binary predictions; use --mode binary",
                           file=sys.stderr)
-        aggregates.append(
-            runner(name, factory, archive, seeds=(0,),
-                   policy=policy, checkpoint=checkpoint)
-        )
+                    return 2
+                factory = lambda s: TriAD(  # noqa: E731 - tiny adapter
+                    TriADConfig(epochs=args.epochs, seed=s, max_window=256)
+                )
+            elif name in _DETECTOR_FACTORIES:
+                base = _DETECTOR_FACTORIES[name]
+                factory = lambda s, base=base: base(s, args.epochs)
+            else:
+                print(f"unknown detector {name!r}", file=sys.stderr)
+                return 2
+            runner = run_scores_on_archive if args.mode == "scores" else run_on_archive
+            checkpoint = None
+            if args.checkpoint is not None:
+                args.checkpoint.mkdir(parents=True, exist_ok=True)
+                checkpoint = SweepCheckpoint(args.checkpoint / f"{name}.{args.mode}.jsonl")
+                if args.retry_failed:
+                    cleared = checkpoint.clear_failures()
+                    if cleared:
+                        print(f"cleared {cleared} recorded failure(s) for {name}",
+                              file=sys.stderr)
+            aggregates.append(
+                runner(name, factory, archive, seeds=(0,),
+                       policy=policy, checkpoint=checkpoint)
+            )
 
-    metric_names = SCORE_METRIC_NAMES if args.mode == "scores" else METRIC_NAMES
-    rows = [agg.row(metrics=metric_names) for agg in aggregates]
-    print(render_table(["Model"] + list(metric_names), rows,
-                       title=f"Leaderboard: {args.size} datasets ({args.mode})"))
-    for agg in aggregates:
-        summary = render_failure_summary(agg)
-        if summary:
-            print(summary)
-    if args.json is not None:
-        save_results(aggregates, args.json)
-        print(f"\nwrote results to {args.json}")
-    return 0
+        metric_names = SCORE_METRIC_NAMES if args.mode == "scores" else METRIC_NAMES
+        rows = [agg.row(metrics=metric_names) for agg in aggregates]
+        print(render_table(["Model"] + list(metric_names), rows,
+                           title=f"Leaderboard: {args.size} datasets ({args.mode})"))
+        for agg in aggregates:
+            summary = render_failure_summary(agg)
+            if summary:
+                print(summary)
+        if args.json is not None:
+            save_results(aggregates, args.json)
+            print(f"\nwrote results to {args.json}")
+        if session is not None:
+            count = session.export_jsonl(args.metrics_out)
+            print(f"wrote {count} observability record(s) to {args.metrics_out}"
+                  " — summarize with: repro profile " + str(args.metrics_out))
+        return 0
+    finally:
+        if session is not None:
+            obs.uninstall()
 
 
 def _cmd_experiments(_args) -> int:
@@ -276,6 +309,18 @@ def _cmd_experiments(_args) -> int:
         for e in EXPERIMENTS.values()
     ]
     print(render_table(["Id", "Artifact", "Bench", "What it shows"], rows))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .obs import load_records, render_profile
+
+    try:
+        records = load_records(args.path)
+    except FileNotFoundError:
+        print(f"no such export: {args.path}", file=sys.stderr)
+        return 2
+    print(render_profile(records, top=args.top))
     return 0
 
 
@@ -328,6 +373,7 @@ def main(argv: list[str] | None = None) -> int:
         "detect": _cmd_detect,
         "compare": _cmd_compare,
         "experiments": _cmd_experiments,
+        "profile": _cmd_profile,
         "report": _cmd_report,
         "tune": _cmd_tune,
     }

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .. import nn
+from .. import nn, obs
 from ..augment import augment_batch
 from ..runtime import DivergenceGuard
 from ..signal.windows import WindowPlan, plan_windows, sliding_windows
@@ -157,38 +157,72 @@ def train_encoder(
     best_val = np.inf
     best_state = encoder.state_dict()
     last_good = encoder.state_dict()
-    for _ in range(config.epochs):
-        encoder.train()
-        grad_norms: list[float] = []
-        train_loss = _epoch_loss(
-            encoder, fit_windows, plan.period, config, rng, optimizer, grad_norms
-        )
-        worst_norm = max(grad_norms) if grad_norms else None
-        verdict = guard.assess(train_loss, worst_norm)
-        if verdict != "ok":
-            # Roll back to the last finite weights; the optimizer moments
-            # may be poisoned, so rebuild it at the backed-off rate.
-            encoder.load_state_dict(last_good)
-            learning_rate = guard.backed_off_lr(learning_rate)
-            optimizer = nn.Adam(encoder.parameters(), lr=learning_rate)
-            result.rollbacks += 1
-            result.train_losses.append(train_loss)
-            if verdict == "abort":
-                result.diverged = True
-                break
-            continue
-        result.train_losses.append(train_loss)
-        last_good = encoder.state_dict()
-        if val_count:
-            encoder.eval()
-            with nn.no_grad():
-                val_loss = _epoch_loss(
-                    encoder, val_windows, plan.period, config, rng, optimizer=None
+    with obs.span(
+        "trainer.train_encoder",
+        epochs=config.epochs,
+        windows=len(fit_windows),
+        window_length=plan.length,
+    ):
+        for epoch in range(config.epochs):
+            encoder.train()
+            grad_norms: list[float] = []
+            with obs.span("trainer.epoch"):
+                train_loss = _epoch_loss(
+                    encoder, fit_windows, plan.period, config, rng, optimizer,
+                    grad_norms,
                 )
-            result.val_losses.append(val_loss)
-            if val_loss < best_val:
-                best_val = val_loss
-                best_state = encoder.state_dict()
+            worst_norm = max(grad_norms) if grad_norms else None
+            obs.gauge("trainer.lr", learning_rate)
+            if worst_norm is not None:
+                obs.observe("trainer.grad_norm", worst_norm)
+            verdict = guard.assess(train_loss, worst_norm)
+            if verdict != "ok":
+                # Roll back to the last finite weights; the optimizer
+                # moments may be poisoned, so rebuild it at the backed-off
+                # rate.
+                encoder.load_state_dict(last_good)
+                learning_rate = guard.backed_off_lr(learning_rate)
+                optimizer = nn.Adam(encoder.parameters(), lr=learning_rate)
+                result.rollbacks += 1
+                result.train_losses.append(train_loss)
+                obs.incr("trainer.rollbacks")
+                obs.event(
+                    "trainer.rollback",
+                    epoch=epoch,
+                    verdict=verdict,
+                    train_loss=train_loss,
+                    grad_norm=worst_norm,
+                    backed_off_lr=learning_rate,
+                )
+                if verdict == "abort":
+                    result.diverged = True
+                    obs.incr("trainer.divergence_aborts")
+                    obs.event("trainer.divergence_abort", epoch=epoch,
+                              rollbacks=result.rollbacks)
+                    break
+                continue
+            result.train_losses.append(train_loss)
+            last_good = encoder.state_dict()
+            val_loss = None
+            if val_count:
+                encoder.eval()
+                with nn.no_grad():
+                    val_loss = _epoch_loss(
+                        encoder, val_windows, plan.period, config, rng,
+                        optimizer=None,
+                    )
+                result.val_losses.append(val_loss)
+                if val_loss < best_val:
+                    best_val = val_loss
+                    best_state = encoder.state_dict()
+            obs.event(
+                "trainer.epoch",
+                epoch=epoch,
+                train_loss=train_loss,
+                val_loss=val_loss,
+                grad_norm=worst_norm,
+                lr=learning_rate,
+            )
     if val_count and result.val_losses:
         encoder.load_state_dict(best_state)
     elif result.diverged:

@@ -34,11 +34,23 @@ class Discord:
 def brute_force_discord(
     series: np.ndarray, length: int, exclusion: int | None = None
 ) -> Discord:
-    """Find the top-1 discord of ``series`` at ``length`` exhaustively."""
+    """Find the top-1 discord of ``series`` at ``length`` exhaustively.
+
+    Raises ``ValueError`` when the exclusion zone bans every pair (the
+    profile is all-``inf``; see :func:`nearest_neighbor_distances`), with
+    the offending geometry in the message so MERLIN failure reports say
+    *which* length/exclusion combination was unsatisfiable.
+    """
     profile = nearest_neighbor_distances(series, length, exclusion=exclusion)
     finite = np.isfinite(profile)
     if not finite.any():
-        raise ValueError("series too short for any non-trivial neighbor")
+        effective = exclusion if exclusion is not None else max(length // 2, 1)
+        raise ValueError(
+            "no subsequence has a non-trivial neighbor: series length "
+            f"{len(np.asarray(series))} yields {len(profile)} subsequence(s) "
+            f"at length={length} under exclusion={effective} — shorten the "
+            "exclusion zone or provide a longer series"
+        )
     profile = np.where(finite, profile, -np.inf)
     index = int(np.argmax(profile))
     return Discord(index=index, length=length, distance=float(profile[index]))

@@ -72,6 +72,17 @@ def nearest_neighbor_distances(
     exclusion:
         Half-width of the trivial-match zone; defaults to ``length // 2``
         (the common matrix-profile convention).
+
+    Returns
+    -------
+    numpy.ndarray
+        One distance per subsequence.  **Contract:** a row whose every
+        pair falls inside the exclusion zone — possible whenever
+        ``count <= 2 * exclusion - 1``, i.e. a short series under a wide
+        zone — has *no* non-trivial neighbor and its entry is ``inf``,
+        not an error.  Callers that need a finite profile must filter
+        with ``np.isfinite`` (see :func:`~repro.discord.brute.
+        brute_force_discord`, which raises when nothing is finite).
     """
     z = znorm_subsequences(series, length)
     count = len(z)

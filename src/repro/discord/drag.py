@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from .brute import Discord
 from .distance import znorm_subsequences
 
@@ -41,6 +42,7 @@ def drag(
     if exclusion is None:
         exclusion = length
     if count <= exclusion:
+        obs.incr("discord.drag.degenerate")
         return None
 
     # ------------------------------------------------------------------
@@ -65,7 +67,14 @@ def drag(
         if survives:
             candidates.append(j)
             candidate_matrix.append(z[j])
+    # Candidate-set size and prune rate are what make the Table IV
+    # pruning argument measurable: a healthy r leaves a tiny candidate
+    # set out of `count` subsequences.
+    obs.observe("discord.drag.candidates", len(candidates))
+    if count:
+        obs.observe("discord.drag.prune_rate", 1.0 - len(candidates) / count)
     if not candidates:
+        obs.incr("discord.drag.failures")
         return None
 
     # ------------------------------------------------------------------
@@ -83,4 +92,6 @@ def drag(
             continue  # had a neighbor inside the range after all
         if best is None or nn > best.distance:
             best = Discord(index=int(c), length=length, distance=nn)
+    if best is None:
+        obs.incr("discord.drag.failures")
     return best

@@ -5,11 +5,16 @@ MERLIN runs DRAG across a range of subsequence lengths, choosing the
 range threshold ``r`` adaptively so each DRAG call prunes aggressively
 yet never misses the true discord:
 
-- first length: ``r = 2 * sqrt(length)``, halved until DRAG succeeds;
-- next four lengths: ``r = 0.99 x`` previous discord distance, decayed
-  by a further 0.99 on failure;
+- until a first discord is found: ``r = 2 * sqrt(length)``, halved
+  until DRAG succeeds;
+- next four successful lengths: ``r = 0.99 x`` previous discord
+  distance, decayed by a further 0.99 on failure;
 - afterwards: ``r = mean - 2 * std`` of the last five discord distances,
   reduced by one std (or 5%) on failure.
+
+Lengths where even the brute-force fallback finds no non-trivial
+neighbor (e.g. a wide exclusion zone on a short region) are skipped and
+contribute nothing to the schedule.
 
 TriAD invokes MERLIN only on the short padded region around its
 suspected window, which is where the 10x inference speedup of Table IV
@@ -22,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from .brute import Discord, brute_force_discord
 from .drag import drag
 
@@ -74,38 +80,59 @@ def merlin(
     result = MerlinResult()
     # Track *length-normalized* discord distances (z-norm distances grow
     # like sqrt(length)), so the schedule stays valid for any step size.
+    # The schedule keys off how many lengths have actually *succeeded*:
+    # a length whose search failed outright (brute force included) adds
+    # nothing to recent_norm, and the next length must not assume a
+    # previous distance exists.
     recent_norm: list[float] = []
-    for position, length in enumerate(lengths):
-        exclusion = max(int(round(exclusion_factor * length)), 1)
-        scale = float(np.sqrt(length))
-        if position == 0:
-            r = 2.0 * scale
-            decay = 0.5
-        elif position < 5:
-            r = 0.99 * recent_norm[-1] * scale
-            decay = 0.9
-        else:
-            window = np.asarray(recent_norm[-5:])
-            r = float(window.mean() - 2.0 * window.std()) * scale
-            decay = 0.9
-        r = max(r, 1e-6)
+    with obs.span(
+        "discord.merlin",
+        series_length=len(series),
+        min_length=min_length,
+        max_length=max_length,
+        step=step,
+    ) as merlin_span:
+        for length in lengths:
+            exclusion = max(int(round(exclusion_factor * length)), 1)
+            scale = float(np.sqrt(length))
+            if not recent_norm:
+                r = 2.0 * scale
+                decay = 0.5
+            elif len(recent_norm) < 5:
+                r = 0.99 * recent_norm[-1] * scale
+                decay = 0.9
+            else:
+                window = np.asarray(recent_norm[-5:])
+                r = float(window.mean() - 2.0 * window.std()) * scale
+                decay = 0.9
+            r = max(r, 1e-6)
 
-        found: Discord | None = None
-        for _ in range(max_retries):
-            result.drag_calls += 1
-            found = drag(series, length, r, exclusion=exclusion)
-            if found is not None:
-                break
-            r *= decay
-            if r < 1e-9:
-                break
-        if found is None:
-            # Retries exhausted (or degenerate series): fall back to the
-            # exact scan so no length is silently skipped.
-            try:
-                found = brute_force_discord(series, length, exclusion=exclusion)
-            except ValueError:
-                continue
-        result.discords.append(found)
-        recent_norm.append(found.distance / scale)
+            found: Discord | None = None
+            retries = 0
+            for _ in range(max_retries):
+                result.drag_calls += 1
+                retries += 1
+                found = drag(series, length, r, exclusion=exclusion)
+                if found is not None:
+                    break
+                r *= decay
+                if r < 1e-9:
+                    break
+            obs.incr("discord.drag_calls", retries)
+            if found is None:
+                # Retries exhausted (or degenerate series): fall back to
+                # the exact scan so no length is silently skipped.
+                obs.incr("discord.brute_force_fallbacks")
+                try:
+                    found = brute_force_discord(series, length, exclusion=exclusion)
+                except ValueError:
+                    obs.incr("discord.skipped_lengths")
+                    continue
+            result.discords.append(found)
+            recent_norm.append(found.distance / scale)
+        merlin_span.set(
+            lengths=len(lengths),
+            discords=len(result.discords),
+            drag_calls=result.drag_calls,
+        )
     return result

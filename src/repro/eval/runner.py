@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Protocol, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..data.spec import Dataset
 from ..metrics import (
     affiliation_metrics,
@@ -333,26 +334,40 @@ def _sweep(
             # trusted).
             if key in cached_results and required <= set(cached_results[key].metrics):
                 per_run.append(cached_results[key])
+                obs.incr("eval.checkpoint.splice_hits")
                 continue
             if key in cached_failures:
                 failures.append(cached_failures[key])
+                obs.incr("eval.checkpoint.splice_hits")
+                obs.incr("eval.checkpoint.spliced_failures")
                 continue
-            if policy is None:
-                validate_dataset(dataset)
-                unit = _Unit()
-                outcome = run_unit(factory(seed), dataset, seed, unit, None, on_detection)
-            else:
-                outcome = _attempt_unit(
-                    name, factory, dataset, seed, policy, run_unit, on_detection
-                )
-            if isinstance(outcome, FailureReport):
-                failures.append(outcome)
-                if checkpoint is not None:
-                    checkpoint.append_failure(outcome)
-            else:
-                per_run.append(outcome)
-                if checkpoint is not None:
-                    checkpoint.append_result(outcome)
+            with obs.span(
+                "eval.unit", detector=name, dataset=dataset.name, seed=seed
+            ) as unit_span:
+                if policy is None:
+                    validate_dataset(dataset)
+                    unit = _Unit()
+                    outcome = run_unit(
+                        factory(seed), dataset, seed, unit, None, on_detection
+                    )
+                else:
+                    outcome = _attempt_unit(
+                        name, factory, dataset, seed, policy, run_unit, on_detection
+                    )
+                obs.incr("eval.units")
+                obs.incr("eval.retries", max(outcome.attempts - 1, 0))
+                if isinstance(outcome, FailureReport):
+                    unit_span.set(outcome="failure", stage=outcome.stage)
+                    obs.incr("eval.failures")
+                    obs.incr(f"eval.failures.stage.{outcome.stage}")
+                    failures.append(outcome)
+                    if checkpoint is not None:
+                        checkpoint.append_failure(outcome)
+                else:
+                    unit_span.set(outcome="result", attempts=outcome.attempts)
+                    per_run.append(outcome)
+                    if checkpoint is not None:
+                        checkpoint.append_result(outcome)
 
     # Per-seed archive averages over surviving runs, then mean/std across
     # seeds that have at least one survivor.

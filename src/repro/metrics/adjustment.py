@@ -40,19 +40,40 @@ def point_adjust(predictions: np.ndarray, labels: np.ndarray) -> np.ndarray:
     return predictions.astype(np.int64)
 
 
-def pa_k(predictions: np.ndarray, labels: np.ndarray, k: float) -> np.ndarray:
-    """PA%K adjustment (Eq. 9): flood-fill an event only when more than
-    ``k`` percent of its points were already flagged.
+def _validate_k(k: float) -> float:
+    k = float(k)
+    if not np.isfinite(k) or not 0.0 < k <= 100.0:
+        raise ValueError(
+            f"k must be a percentage in (0, 100], got {k!r} — k <= 0 "
+            "silently degenerates to classic PA and k > 100 to a no-op"
+        )
+    return k
 
-    ``k`` is in percent (0–100].  ``k=100`` never adjusts (raw
-    point-wise); ``k -> 0`` recovers classic PA.
-    """
+
+def _pa_k_with_events(
+    predictions: np.ndarray, events: list[tuple[int, int]], k: float
+) -> np.ndarray:
+    """PA%K flood-fill against precomputed label events."""
     predictions = np.asarray(predictions).astype(bool).copy()
-    for start, end in label_events(labels):
+    for start, end in events:
         flagged = predictions[start:end].sum()
         if flagged and flagged / (end - start) > k / 100.0:
             predictions[start:end] = True
     return predictions.astype(np.int64)
+
+
+def pa_k(predictions: np.ndarray, labels: np.ndarray, k: float) -> np.ndarray:
+    """PA%K adjustment (Eq. 9): flood-fill an event only when more than
+    ``k`` percent of its points were already flagged.
+
+    ``k`` is in percent and must lie in ``(0, 100]``; anything outside
+    raises ``ValueError`` (it would silently compute a different metric:
+    ``k <= 0`` is classic PA, ``k > 100`` never adjusts anything).
+    ``k=100`` never adjusts (raw point-wise); ``k -> 0`` recovers
+    classic PA.  The flood-fill condition is strict: an event with
+    *exactly* ``k`` percent flagged is **not** adjusted.
+    """
+    return _pa_k_with_events(predictions, label_events(labels), _validate_k(k))
 
 
 @dataclass(frozen=True)
@@ -84,14 +105,20 @@ class PaKCurve:
 def pa_k_auc(
     predictions: np.ndarray, labels: np.ndarray, ks: np.ndarray | None = None
 ) -> PaKCurve:
-    """Sweep PA%K over ``ks`` (default 1..100) and collect P/R/F1 curves."""
+    """Sweep PA%K over ``ks`` (default 1..100) and collect P/R/F1 curves.
+
+    Label events are segmented once for the whole curve, not once per K
+    — the sweep is 100 flood-fills over one event list.
+    """
     if ks is None:
         ks = np.arange(1, 101, dtype=np.float64)
     ks = np.asarray(ks, dtype=np.float64)
+    validated = [_validate_k(k) for k in ks]
+    events = label_events(labels)
     precisions = np.empty(len(ks))
     recalls = np.empty(len(ks))
     f1s = np.empty(len(ks))
-    for i, k in enumerate(ks):
-        adjusted = pa_k(predictions, labels, k)
+    for i, k in enumerate(validated):
+        adjusted = _pa_k_with_events(predictions, events, k)
         precisions[i], recalls[i], f1s[i] = precision_recall_f1(adjusted, labels)
     return PaKCurve(ks=ks, precision=precisions, recall=recalls, f1=f1s)

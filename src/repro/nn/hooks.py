@@ -1,0 +1,33 @@
+"""Timing hook shared by the module system and the autodiff engine.
+
+A single optional callback ``hook(kind, name, seconds)`` receives the
+duration of every :class:`~repro.nn.Module` forward call
+(``kind="forward"``, ``name`` the module class) and every
+``Tensor.backward`` graph walk (``kind="backward"``, ``name="graph"``).
+It lives in its own module so :mod:`repro.nn.tensor` and
+:mod:`repro.nn.module` can both reach it without a circular import, and
+so :mod:`repro.obs` can install instrumentation without :mod:`repro.nn`
+depending on it.
+
+No hook (the default) costs one module-attribute read per call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["set_timing_hook", "get_timing_hook"]
+
+TimingHook = Callable[[str, str, float], None]
+
+_TIMING_HOOK: TimingHook | None = None
+
+
+def set_timing_hook(hook: TimingHook | None) -> None:
+    """Install (or with ``None`` remove) the process-wide timing hook."""
+    global _TIMING_HOOK
+    _TIMING_HOOK = hook
+
+
+def get_timing_hook() -> TimingHook | None:
+    return _TIMING_HOOK

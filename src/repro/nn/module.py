@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import time
 from typing import Iterator
 
 import numpy as np
 
+from . import hooks
 from .tensor import Tensor
 
 __all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
@@ -111,7 +113,13 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, *args, **kwargs):
-        return self.forward(*args, **kwargs)
+        hook = hooks._TIMING_HOOK
+        if hook is None:
+            return self.forward(*args, **kwargs)
+        start = time.perf_counter()
+        out = self.forward(*args, **kwargs)
+        hook("forward", type(self).__name__, time.perf_counter() - start)
+        return out
 
 
 class Sequential(Module):

@@ -18,9 +18,12 @@ custom backward rules.
 from __future__ import annotations
 
 import contextlib
+import time
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from . import hooks
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
@@ -168,6 +171,8 @@ class Tensor:
                 raise RuntimeError("grad must be supplied for non-scalar output")
             grad = np.ones_like(self.data)
         grad = np.asarray(grad, dtype=np.float64)
+        hook = hooks._TIMING_HOOK
+        started = time.perf_counter() if hook is not None else 0.0
 
         order: list[Tensor] = []
         seen: set[int] = set()
@@ -189,6 +194,8 @@ class Tensor:
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+        if hook is not None:
+            hook("backward", "graph", time.perf_counter() - started)
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic

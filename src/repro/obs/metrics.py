@@ -1,0 +1,174 @@
+"""Process-local metric primitives: counters, gauges, histograms.
+
+Everything here is plain in-memory state owned by one process — no
+sockets, no background threads, no global side effects.  A
+:class:`MetricsRegistry` is a namespace of named instruments created
+lazily on first use; the facade in :mod:`repro.obs.session` routes all
+instrumentation to the registry of the *active* session (or to nothing
+when observability is off, which is the default).
+
+Histograms keep exact running aggregates (count/sum/min/max) plus a
+bounded reservoir for quantile estimates, so recording a million values
+costs a million O(1) updates and a constant amount of memory.  Reservoir
+replacement uses a per-instrument deterministic PRNG, keeping exports
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (e.g. DRAG calls, retries)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def record(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A last-value-wins measurement (e.g. the current learning rate)."""
+
+    __slots__ = ("name", "value", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def record(self) -> dict:
+        return {
+            "type": "gauge",
+            "name": self.name,
+            "value": self.value,
+            "updates": self.updates,
+        }
+
+
+class Histogram:
+    """A distribution of observed values with a bounded reservoir.
+
+    ``count``/``sum``/``min``/``max`` are exact over every observation;
+    quantiles are estimated from a uniform reservoir sample (Vitter's
+    Algorithm R) of at most ``reservoir_size`` values.
+    """
+
+    __slots__ = ("name", "unit", "count", "sum", "min", "max", "_reservoir",
+                 "_capacity", "_rng")
+
+    def __init__(self, name: str, unit: str | None = None,
+                 reservoir_size: int = 512) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self.name = name
+        self.unit = unit
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._reservoir: list[float] = []
+        self._capacity = reservoir_size
+        # Deterministic per-name seed so repeated runs export identical
+        # quantile estimates for identical observation streams.
+        self._rng = random.Random(sum(name.encode()) * 2654435761 % (2**31))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < self._capacity:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._capacity:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Reservoir-estimated ``q``-quantile (nearest-rank)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[rank]
+
+    def record(self) -> dict:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "unit": self.unit,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Lazily-created named instruments, one namespace per session."""
+
+    def __init__(self, reservoir_size: int = 512) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self._reservoir_size = reservoir_size
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, unit: str | None = None) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(
+                name, unit=unit, reservoir_size=self._reservoir_size
+            )
+        return instrument
+
+    def records(self) -> list[dict]:
+        """One JSON-ready dict per instrument, sorted by name for stable
+        exports."""
+        out: list[dict] = []
+        for name in sorted(self.counters):
+            out.append(self.counters[name].record())
+        for name in sorted(self.gauges):
+            out.append(self.gauges[name].record())
+        for name in sorted(self.histograms):
+            out.append(self.histograms[name].record())
+        return out

@@ -1,0 +1,97 @@
+"""Span-based tracing with parent/child nesting.
+
+A :class:`Tracer` records :class:`Span` entries — named wall-clock
+intervals with attributes — on a stack, so spans opened inside other
+spans carry their parent's id and a nesting depth.  The result is a
+flat list of closed spans that reconstructs the call tree, cheap enough
+to export as JSONL and render with ``repro profile``.
+
+Durations use ``time.perf_counter()`` (monotonic, sub-microsecond);
+span start times are additionally anchored to the tracer's wall-clock
+epoch so exports can be correlated with logs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One closed (or still-open) traced interval."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float  # seconds since the tracer epoch
+    depth: int
+    attrs: dict = field(default_factory=dict)
+    end: float | None = None
+    status: str = "ok"
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def record(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Collects nested spans for one session (single-threaded)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self.epoch = time.time()
+        self._perf_epoch = time.perf_counter()
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._perf_epoch
+
+    def start(self, name: str, **attrs) -> Span:
+        """Open a span; its parent is the innermost still-open span."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            name=name,
+            start=self._now(),
+            depth=len(self._stack),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: Span, status: str = "ok") -> Span:
+        """Close ``span`` (and anything opened inside it but left open)."""
+        while self._stack:
+            top = self._stack.pop()
+            if top.end is None:
+                top.end = self._now()
+                top.status = status if top is span else top.status
+                self.spans.append(top)
+            if top is span:
+                break
+        return span
+
+    def records(self) -> list[dict]:
+        return [span.record() for span in self.spans]

@@ -108,3 +108,39 @@ class TestNearestNeighborDistances:
         profile = nearest_neighbor_distances(x, 25, exclusion=25)
         peak = int(np.argmax(profile))
         assert 470 <= peak <= 525
+
+
+class TestExclusionZoneContract:
+    def test_banned_rows_return_inf_not_error(self, rng):
+        """Documented contract: a subsequence whose every pair falls in
+        the exclusion zone gets an inf entry, not an exception."""
+        x = rng.normal(size=20)
+        length = 7  # 14 subsequences
+        profile = nearest_neighbor_distances(x, length, exclusion=14)
+        assert profile.shape == (14,)
+        assert np.isinf(profile).all()
+
+    def test_partial_ban_mixes_inf_and_finite(self, rng):
+        x = rng.normal(size=24)
+        length = 5  # 20 subsequences, exclusion 15: only edges have pairs
+        profile = nearest_neighbor_distances(x, length, exclusion=15)
+        assert np.isfinite(profile[0])
+        assert np.isfinite(profile[-1])
+        assert np.isinf(profile[10])
+
+    def test_brute_force_error_names_geometry(self, rng):
+        from repro.discord import brute_force_discord
+
+        x = rng.normal(size=20)
+        with pytest.raises(ValueError) as exc_info:
+            brute_force_discord(x, 7, exclusion=14)
+        message = str(exc_info.value)
+        assert "length=7" in message
+        assert "exclusion=14" in message
+
+    def test_brute_force_error_reports_default_exclusion(self, rng):
+        from repro.discord import brute_force_discord
+
+        x = rng.normal(size=8)
+        with pytest.raises(ValueError, match="exclusion=3"):
+            brute_force_discord(x, 6)  # default exclusion = 6 // 2

@@ -65,10 +65,36 @@ class TestPaK:
         pred[80:100] = 1  # 50% of the event
         assert np.array_equal(pa_k(pred, one_event, 100), pred)
 
-    def test_k_zero_equals_pa(self, one_event):
+    def test_k_near_zero_equals_pa(self, one_event):
         pred = np.zeros(200, dtype=int)
         pred[85] = 1
-        assert np.array_equal(pa_k(pred, one_event, 0), point_adjust(pred, one_event))
+        assert np.array_equal(
+            pa_k(pred, one_event, 1e-9), point_adjust(pred, one_event)
+        )
+
+    @pytest.mark.parametrize("k", [0, -5, 100.001, 150, float("nan"), float("inf")])
+    def test_out_of_range_k_raises(self, one_event, k):
+        pred = np.zeros(200, dtype=int)
+        pred[85] = 1
+        with pytest.raises(ValueError, match=r"\(0, 100\]"):
+            pa_k(pred, one_event, k)
+
+    def test_k100_boundary_full_event_flagged(self, one_event):
+        # Even a fully-flagged event is not "more than 100%" flagged, so
+        # k=100 must behave exactly point-wise (no adjustment ever).
+        pred = np.zeros(200, dtype=int)
+        pred[80:120] = 1
+        pred[90] = 1
+        assert np.array_equal(pa_k(pred, one_event, 100), pred)
+
+    def test_exact_threshold_fraction_not_adjusted(self, one_event):
+        # 10 of 40 points flagged = exactly 25%; the condition is strict
+        # (> k), so k=25 leaves the prediction untouched while any
+        # slightly smaller k floods the event.
+        pred = np.zeros(200, dtype=int)
+        pred[80:90] = 1
+        assert np.array_equal(pa_k(pred, one_event, 25), pred)
+        assert pa_k(pred, one_event, 24.999)[80:120].all()
 
     def test_threshold_strict(self, one_event):
         pred = np.zeros(200, dtype=int)
@@ -117,3 +143,23 @@ class TestPaKAuc:
         pred = one_event.copy()
         curve = pa_k_auc(pred, one_event, ks=np.array([10.0, 50.0]))
         assert len(curve.f1) == 2
+
+    def test_invalid_custom_ks_raise(self, one_event):
+        with pytest.raises(ValueError, match=r"\(0, 100\]"):
+            pa_k_auc(one_event, one_event, ks=np.array([50.0, 0.0]))
+
+    def test_events_segmented_once_per_curve(self, one_event, monkeypatch):
+        import repro.metrics.adjustment as adjustment
+
+        calls = {"n": 0}
+        real = adjustment.label_events
+
+        def counting(labels):
+            calls["n"] += 1
+            return real(labels)
+
+        monkeypatch.setattr(adjustment, "label_events", counting)
+        pred = np.zeros(200, dtype=int)
+        pred[90:110] = 1
+        adjustment.pa_k_auc(pred, one_event)
+        assert calls["n"] == 1

@@ -1,0 +1,212 @@
+"""Integration tests: the hot paths actually record into a session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.config import TriADConfig
+from repro.core.trainer import train_encoder
+from repro.data import make_archive
+from repro.discord.merlin import merlin
+from repro.eval import run_on_archive
+from repro.eval.persistence import SweepCheckpoint
+from repro.runtime import RetryPolicy
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    assert obs.active() is None
+    yield
+    obs.uninstall()
+
+
+class _TinyDetector:
+    """Constant predictor for fast runner tests."""
+
+    def fit(self, train_series):
+        return self
+
+    def predict(self, test_series):
+        return np.zeros(len(test_series), dtype=np.int64)
+
+
+class _FailingDetector:
+    def fit(self, train_series):
+        raise RuntimeError("synthetic fit failure")
+
+    def predict(self, test_series):  # pragma: no cover - fit always raises
+        return np.zeros(len(test_series), dtype=np.int64)
+
+
+def _tiny_archive(size=1):
+    return make_archive(size=size, seed=7, train_length=400, test_length=500)
+
+
+class TestTrainerInstrumentation:
+    def test_epoch_events_and_spans(self, noisy_wave):
+        config = TriADConfig(epochs=2, seed=0, max_window=128)
+        with obs.observed(trace=True) as session:
+            result = train_encoder(noisy_wave, config)
+        assert not result.diverged
+        epoch_events = [e for e in session.events if e["name"] == "trainer.epoch"]
+        assert len(epoch_events) == 2
+        for event in epoch_events:
+            assert np.isfinite(event["attrs"]["train_loss"])
+            assert event["attrs"]["lr"] == config.learning_rate
+        assert session.metrics.histograms["trainer.epoch"].count == 2
+        assert session.metrics.histograms["trainer.grad_norm"].count == 2
+        assert session.metrics.gauges["trainer.lr"].value == config.learning_rate
+        names = {s.name for s in session.tracer.spans}
+        assert {"trainer.train_encoder", "trainer.epoch"} <= names
+
+    def test_rollback_event_on_divergence(self, monkeypatch, noisy_wave):
+        import repro.core.trainer as trainer_module
+
+        # Force every epoch loss to NaN so the guard fires immediately.
+        monkeypatch.setattr(
+            trainer_module, "_epoch_loss",
+            lambda *args, **kwargs: float("nan"),
+        )
+        config = TriADConfig(epochs=4, seed=0, max_window=128)
+        with obs.observed() as session:
+            result = train_encoder(noisy_wave, config)
+        assert result.rollbacks > 0
+        assert session.metrics.counters["trainer.rollbacks"].value == result.rollbacks
+        rollback_events = [
+            e for e in session.events if e["name"] == "trainer.rollback"
+        ]
+        assert len(rollback_events) == result.rollbacks
+        if result.diverged:
+            assert session.metrics.counters["trainer.divergence_aborts"].value == 1
+            assert any(
+                e["name"] == "trainer.divergence_abort" for e in session.events
+            )
+
+
+class TestRunnerInstrumentation:
+    def test_unit_spans_and_counters(self):
+        archive = _tiny_archive(size=2)
+        with obs.observed(trace=True) as session:
+            run_on_archive("tiny", lambda s: _TinyDetector(), archive, seeds=(0, 1))
+        assert session.metrics.counters["eval.units"].value == 4
+        assert session.metrics.histograms["eval.unit"].count == 4
+        unit_spans = [s for s in session.tracer.spans if s.name == "eval.unit"]
+        assert len(unit_spans) == 4
+        assert all(s.attrs["outcome"] == "result" for s in unit_spans)
+        assert {s.attrs["dataset"] for s in unit_spans} == {
+            ds.name for ds in archive
+        }
+
+    def test_failure_stage_counters(self):
+        archive = _tiny_archive()
+        policy = RetryPolicy(max_retries=1)
+        with obs.observed() as session:
+            agg = run_on_archive(
+                "failing", lambda s: _FailingDetector(), archive, seeds=(0,),
+                policy=policy,
+            )
+        assert len(agg.failures) == 1
+        assert session.metrics.counters["eval.failures"].value == 1
+        assert session.metrics.counters["eval.failures.stage.fit"].value == 1
+        # One retry happened before the unit was declared failed.
+        assert session.metrics.counters["eval.retries"].value == 1
+
+    def test_checkpoint_splice_hits(self, tmp_path):
+        archive = _tiny_archive(size=2)
+        checkpoint = SweepCheckpoint(tmp_path / "journal.jsonl")
+        run_on_archive("tiny", lambda s: _TinyDetector(), archive, seeds=(0,),
+                       checkpoint=checkpoint)
+        with obs.observed() as session:
+            run_on_archive("tiny", lambda s: _TinyDetector(), archive, seeds=(0,),
+                           checkpoint=checkpoint)
+        assert session.metrics.counters["eval.checkpoint.splice_hits"].value == 2
+        assert "eval.units" not in session.metrics.counters
+
+
+class TestDiscordInstrumentation:
+    def test_merlin_counters_and_span(self, sine_wave):
+        with obs.observed(trace=True) as session:
+            result = merlin(sine_wave[:400], 16, 24, step=4)
+        assert result.drag_calls > 0
+        assert (
+            session.metrics.counters["discord.drag_calls"].value
+            == result.drag_calls
+        )
+        assert session.metrics.histograms["discord.merlin"].count == 1
+        assert session.metrics.histograms["discord.drag.candidates"].count > 0
+        assert session.metrics.histograms["discord.drag.prune_rate"].count > 0
+        (span,) = [s for s in session.tracer.spans if s.name == "discord.merlin"]
+        assert span.attrs["discords"] == len(result.discords)
+        assert span.attrs["drag_calls"] == result.drag_calls
+
+    def test_brute_force_fallback_counter(self):
+        # A wide exclusion zone forces DRAG to fail and the brute-force
+        # fallback (which itself fails) to be recorded.
+        rng = np.random.default_rng(0)
+        series = rng.standard_normal(20)
+        with obs.observed() as session:
+            merlin(series, 7, 8, exclusion_factor=2.0)
+        assert session.metrics.counters["discord.brute_force_fallbacks"].value > 0
+        assert session.metrics.counters["discord.skipped_lengths"].value > 0
+
+
+class TestNnHooks:
+    def test_forward_and_backward_histograms(self):
+        from repro import nn
+        from repro.nn import hooks
+
+        with obs.observed() as session:
+            obs.instrument_nn()
+            try:
+                layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+                out = layer(nn.Tensor(np.ones((2, 4)), requires_grad=True))
+                out.sum().backward()
+            finally:
+                obs.uninstrument_nn()
+        assert hooks.get_timing_hook() is None
+        assert session.metrics.histograms["nn.forward.Linear"].count == 1
+        assert session.metrics.histograms["nn.backward.graph"].count == 1
+
+    def test_hook_inactive_without_session(self):
+        from repro import nn
+
+        obs.instrument_nn()
+        try:
+            layer = nn.Linear(2, 2, rng=np.random.default_rng(0))
+            layer(nn.Tensor(np.ones((1, 2))))  # must not raise
+        finally:
+            obs.uninstrument_nn()
+
+
+class TestCliIntegration:
+    def test_compare_exports_and_profile_renders(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "metrics.jsonl"
+        code = main([
+            "compare", "--size", "1", "--epochs", "1",
+            "--detectors", "one-liner",
+            "--metrics-out", str(out), "--trace",
+        ])
+        assert code == 0
+        assert out.exists()
+        assert obs.active() is None  # session cleaned up
+        capsys.readouterr()
+        assert main(["profile", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "eval.unit" in text
+        assert "timed sections" in text
+
+    def test_trace_requires_metrics_out(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "--size", "1", "--detectors", "one-liner",
+                     "--trace"]) == 2
+        assert "--metrics-out" in capsys.readouterr().err
+
+    def test_profile_missing_file(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "/nonexistent/metrics.jsonl"]) == 2

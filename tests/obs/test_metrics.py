@@ -1,0 +1,104 @@
+"""Unit tests for the metric primitives and registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increment(self):
+        c = Counter("x")
+        c.increment()
+        c.increment(2.5)
+        assert c.value == 3.5
+
+    def test_record(self):
+        c = Counter("x")
+        c.increment(4)
+        assert c.record() == {"type": "counter", "name": "x", "value": 4.0}
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = Gauge("lr")
+        g.set(0.1)
+        g.set(0.05)
+        assert g.value == 0.05
+        assert g.updates == 2
+
+    def test_unset_records_none(self):
+        assert Gauge("lr").record()["value"] is None
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("d")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 10.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == 2.5
+
+    def test_reservoir_is_bounded(self):
+        h = Histogram("d", reservoir_size=16)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert len(h._reservoir) == 16
+        assert h.count == 10_000
+        # Exact aggregates survive reservoir replacement.
+        assert h.min == 0.0
+        assert h.max == 9999.0
+
+    def test_quantiles_reasonable_under_sampling(self):
+        h = Histogram("d", reservoir_size=256)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert 2500 < h.quantile(0.5) < 7500
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+
+    def test_quantile_validates(self):
+        h = Histogram("d")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_deterministic_reservoir(self):
+        def fill():
+            h = Histogram("same-name", reservoir_size=8)
+            for v in range(1000):
+                h.observe(float(v))
+            return list(h._reservoir)
+
+        assert fill() == fill()
+
+    def test_empty_record_has_no_min_max(self):
+        record = Histogram("d").record()
+        assert record["min"] is None and record["max"] is None
+        assert record["count"] == 0
+
+    def test_bad_reservoir_size(self):
+        with pytest.raises(ValueError):
+            Histogram("d", reservoir_size=0)
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_records_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("z").increment()
+        reg.counter("a").increment()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(2)
+        records = reg.records()
+        assert [r["name"] for r in records] == ["a", "z", "g", "h"]
+        assert [r["type"] for r in records] == [
+            "counter", "counter", "gauge", "histogram",
+        ]

@@ -75,3 +75,22 @@ class TestEstimatePeriod:
         estimate = estimate_period(x)
         # Accept the period or a small integer multiple mismatch of +/-1.
         assert abs(estimate - period) <= max(2, period // 10)
+
+
+class TestMaxPeriodClamp:
+    def test_fft_harmonic_beyond_max_period_is_clamped(self):
+        """A dominant harmonic longer than max_period must clamp, not
+        leak an oversized window plan."""
+        t = np.arange(400)
+        x = np.sin(2 * np.pi * t / 100)  # true period 100
+        assert estimate_period(x, max_period=20) == 20
+
+    def test_default_max_period_is_quarter_length(self):
+        t = np.arange(240)
+        x = np.sin(2 * np.pi * t / 120)  # one period per quarter: clamps
+        assert estimate_period(x) <= len(x) // 4
+
+    def test_clamp_floor_at_two(self):
+        t = np.arange(64)
+        x = np.sin(2 * np.pi * t / 16)
+        assert estimate_period(x, max_period=2) == 2
