@@ -1,0 +1,126 @@
+"""Serving-layer benchmarks (``BENCH_serve.json``).
+
+Two claims back the serving design:
+
+- **micro-batching wins** — scoring ready windows from 16 concurrent
+  streams in cross-stream batches through one encoder forward pass must
+  be >= 3x the throughput of scoring each window in its own forward
+  pass (the acceptance gate enforced by ``scripts/bench_serving.py``);
+- **the vectorised left matrix profile wins** — the chunked numpy
+  implementation must beat the per-position python loop it replaced.
+
+Run via ``python scripts/bench_serving.py`` (writes ``BENCH_serve.json``)
+or directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py \
+        -m bench --benchmark-only
+
+Everything here carries the ``bench`` marker, so tier-1 (`pytest -x -q`)
+never collects it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TriAD, TriADConfig
+from repro.discord.streaming import left_matrix_profile
+from repro.discord.distance import znorm_subsequences
+from repro.serve.engine import EngineConfig, ScoringEngine
+from repro.serve.registry import ModelRegistry, TriADWindowScorer
+
+pytestmark = pytest.mark.bench
+
+STREAMS = 16
+POINTS_PER_STREAM = 400
+
+
+@pytest.fixture(scope="module")
+def scorer():
+    rng = np.random.default_rng(12345)
+    t = np.arange(1600)
+    series = np.sin(2 * np.pi * t / 40) + 0.05 * rng.standard_normal(len(t))
+    detector = TriAD(
+        TriADConfig(depth=2, hidden_dim=8, epochs=1, seed=3, max_window=96)
+    ).fit(series)
+    return TriADWindowScorer(detector)
+
+
+@pytest.fixture(scope="module")
+def feed():
+    rng = np.random.default_rng(0)
+    t = np.arange(POINTS_PER_STREAM)
+    base = np.sin(2 * np.pi * t / 40)
+    return [
+        base + 0.05 * rng.standard_normal(POINTS_PER_STREAM) for _ in range(STREAMS)
+    ]
+
+
+def run_replay(scorer, feed, max_batch):
+    registry = ModelRegistry()
+    registry.register(scorer)
+    plan = scorer._detector.plan
+    engine = ScoringEngine(
+        registry,
+        EngineConfig(
+            window_length=plan.length,
+            stride=plan.stride,
+            max_batch=max_batch,
+            queue_capacity=100_000,
+        ),
+    )
+    for i in range(POINTS_PER_STREAM):
+        for s in range(STREAMS):
+            engine.ingest(f"s{s}", float(feed[s][i]))
+    engine.drain()
+    return engine.stats.windows_scored
+
+
+def test_engine_sequential_scoring(benchmark, scorer, feed):
+    """One encoder forward per window: the baseline the gate divides by."""
+    scored = benchmark.pedantic(
+        run_replay, args=(scorer, feed, 1), rounds=3, iterations=1
+    )
+    assert scored > 0
+
+
+def test_engine_microbatched_scoring(benchmark, scorer, feed):
+    """Cross-stream micro-batches of up to 64 windows per forward."""
+    scored = benchmark.pedantic(
+        run_replay, args=(scorer, feed, 64), rounds=3, iterations=1
+    )
+    assert scored > 0
+
+
+def loop_left_profile(series, length):
+    """The per-position python loop the vectorised version replaced."""
+    z = znorm_subsequences(np.asarray(series, dtype=np.float64), length)
+    count = len(z)
+    profile = np.full(count, np.inf)
+    for i in range(length, count):
+        best = np.inf
+        for j in range(0, i - length + 1):
+            d = float(np.sqrt(((z[i] - z[j]) ** 2).sum()))
+            best = min(best, d)
+        profile[i] = best
+    return profile
+
+
+@pytest.fixture(scope="module")
+def profile_series():
+    rng = np.random.default_rng(1)
+    t = np.arange(900)
+    return np.sin(2 * np.pi * t / 50) + 0.1 * rng.standard_normal(len(t))
+
+
+def test_left_profile_vectorised(benchmark, profile_series):
+    benchmark.pedantic(
+        left_matrix_profile, args=(profile_series, 32), rounds=3, iterations=1
+    )
+
+
+def test_left_profile_loop_reference(benchmark, profile_series):
+    benchmark.pedantic(
+        loop_left_profile, args=(profile_series, 32), rounds=1, iterations=1
+    )

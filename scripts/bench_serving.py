@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Run the serving benchmark suite and write BENCH_serve.json.
+
+Invokes ``benchmarks/bench_serve.py`` under pytest-benchmark, condenses
+the report into a small, diffable baseline at the repo root, and
+enforces the serving acceptance gate::
+
+    python scripts/bench_serving.py [--out BENCH_serve.json]
+                                    [--min-speedup 3.0]
+
+The condensed file keeps mean/min/stddev/rounds per benchmark plus two
+derived ratios:
+
+- ``microbatch_speedup_x`` — sequential engine mean / micro-batched
+  engine mean on 16 concurrent streams; the gate requires >= 3.0;
+- ``left_profile_speedup_x`` — python-loop left-matrix-profile mean /
+  vectorised mean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_suite(raw_json: Path) -> int:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable, "-m", "pytest",
+        str(REPO_ROOT / "benchmarks" / "bench_serve.py"),
+        "-m", "bench",
+        "--benchmark-only",
+        "--benchmark-warmup=off",
+        f"--benchmark-json={raw_json}",
+        "-q",
+    ]
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def condense(raw_json: Path) -> dict:
+    report = json.loads(raw_json.read_text())
+    benchmarks: dict[str, dict] = {}
+    for entry in report.get("benchmarks", []):
+        stats = entry.get("stats", {})
+        benchmarks[entry["name"]] = {
+            "mean_s": stats.get("mean"),
+            "min_s": stats.get("min"),
+            "stddev_s": stats.get("stddev"),
+            "rounds": stats.get("rounds"),
+        }
+    payload: dict = {
+        "suite": "benchmarks/bench_serve.py",
+        "machine": report.get("machine_info", {}).get("machine"),
+        "python": report.get("machine_info", {}).get("python_version"),
+        "benchmarks": benchmarks,
+    }
+    sequential = benchmarks.get("test_engine_sequential_scoring", {}).get("mean_s")
+    batched = benchmarks.get("test_engine_microbatched_scoring", {}).get("mean_s")
+    if sequential and batched:
+        payload["microbatch_speedup_x"] = round(sequential / batched, 2)
+    loop = benchmarks.get("test_left_profile_loop_reference", {}).get("mean_s")
+    vectorised = benchmarks.get("test_left_profile_vectorised", {}).get("mean_s")
+    if loop and vectorised:
+        payload["left_profile_speedup_x"] = round(loop / vectorised, 2)
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_serve.json")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="gate: required micro-batch throughput multiple "
+                             "over sequential scoring (default 3.0)")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_json = Path(tmp) / "benchmark-raw.json"
+        code = run_suite(raw_json)
+        if code != 0:
+            print(f"benchmark suite failed (exit {code})", file=sys.stderr)
+            return code
+        payload = condense(raw_json)
+
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+    speedup = payload.get("microbatch_speedup_x")
+    if speedup is None:
+        print("gate: engine benchmarks missing from report", file=sys.stderr)
+        return 1
+    print(f"micro-batch speedup: {speedup}x "
+          f"(gate: >= {args.min_speedup}x)")
+    if payload.get("left_profile_speedup_x") is not None:
+        print(f"left-profile speedup: {payload['left_profile_speedup_x']}x")
+    if speedup < args.min_speedup:
+        print("gate FAILED: micro-batching below required speedup",
+              file=sys.stderr)
+        return 1
+    print("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,9 @@ Commands
 ``profile``   Summarize an observability JSONL export (``compare
               --metrics-out``): top timed sections, counters, traces.
 ``report``    Stitch ``benchmarks/results/*.txt`` into one markdown report.
+``serve-replay``  Replay an archive unit through the online serving
+              engine (micro-batching, degradation chain, drift
+              monitors) and report alerts, throughput, and latency.
 ``tune``      Grid-search TriAD hyper-parameters on a small archive.
 """
 
@@ -99,6 +102,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--results", type=Path, default=Path("benchmarks/results"))
     p_report.add_argument("--out", type=Path, default=None,
                           help="write the report here instead of stdout")
+
+    p_serve = sub.add_parser(
+        "serve-replay",
+        help="replay an archive unit through the online serving engine",
+    )
+    p_serve.add_argument("--dataset", type=str, default="4",
+                         help="archive index, or path to a real UCR file")
+    p_serve.add_argument("--epochs", type=int, default=3,
+                         help="TriAD training epochs for the primary model "
+                              "(0 = training-free chain: spectral residual "
+                              "-> streaming discord)")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--streams", type=int, default=4,
+                         help="replay the unit as N concurrent streams")
+    p_serve.add_argument("--max-batch", type=int, default=32,
+                         help="micro-batch cap for cross-stream scoring")
+    p_serve.add_argument("--queue-capacity", type=int, default=512,
+                         help="admission-control bound on pending windows")
+    p_serve.add_argument("--latency-budget-ms", type=float, default=None,
+                         help="per-batch latency budget: the engine adapts "
+                              "its micro-batch size to it and the primary "
+                              "model degrades when it keeps exceeding it")
+    p_serve.add_argument("--sigma", type=float, default=4.0,
+                         help="per-stream alert threshold sigma")
+    p_serve.add_argument("--fail-primary", type=int, default=None, metavar="N",
+                         help="chaos drill: primary model fails after N "
+                              "healthy batches, forcing the degradation chain")
+    p_serve.add_argument("--load", type=Path, default=None,
+                         help="load the primary from a saved detector npz "
+                              "instead of training")
+    p_serve.add_argument("--json", type=Path, default=None,
+                         help="also write the replay report as JSON")
+    p_serve.add_argument("--metrics-out", type=Path, default=None,
+                         help="export observability metrics recorded during "
+                              "the replay as JSONL")
 
     p_tune = sub.add_parser("tune", help="grid-search TriAD hyper-parameters")
     p_tune.add_argument("--size", type=int, default=3)
@@ -340,6 +378,77 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve_replay(args) -> int:
+    import json as json_module
+
+    from . import TriAD, TriADConfig, obs
+    from .core import load_detector
+    from .runtime import RetryPolicy
+    from .serve import build_engine, build_registry, replay_dataset
+    from .signal.windows import plan_windows
+
+    dataset = _load_dataset(args.dataset)
+    print(f"dataset {dataset.name}: test={len(dataset.test)} "
+          f"streams={args.streams}")
+
+    detector = None
+    if args.load is not None:
+        if not args.load.exists():
+            print(f"no saved detector at {args.load} "
+                  f"(save one with `repro detect --save`)", file=sys.stderr)
+            return 2
+        detector = load_detector(args.load)
+        print(f"loaded primary from {args.load}")
+    elif args.epochs > 0:
+        detector = TriAD(
+            TriADConfig(epochs=args.epochs, seed=args.seed, max_window=256)
+        ).fit(dataset.train)
+        print(f"trained TriAD primary ({args.epochs} epochs)")
+    if detector is not None:
+        plan = detector.plan
+    else:
+        plan = plan_windows(dataset.train, max_length=256)
+        print("training-free chain (spectral residual -> streaming discord)")
+
+    budget_s = (
+        args.latency_budget_ms / 1e3 if args.latency_budget_ms is not None else None
+    )
+    session = obs.install() if args.metrics_out is not None else None
+    try:
+        registry = build_registry(
+            detector,
+            policy=RetryPolicy(max_retries=0),
+            latency_budget=budget_s,
+            fail_primary_after=args.fail_primary,
+            train_series=dataset.train,
+        )
+        engine = build_engine(
+            registry,
+            window_length=plan.length,
+            stride=plan.stride,
+            expected_period=plan.period,
+            max_batch=args.max_batch,
+            queue_capacity=args.queue_capacity,
+            latency_budget_s=budget_s,
+            alert_sigma=args.sigma,
+        )
+        report = replay_dataset(dataset, engine, streams=args.streams)
+        print()
+        print(report.render())
+        if args.json is not None:
+            args.json.write_text(
+                json_module.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+            )
+            print(f"\nwrote replay report to {args.json}")
+        if session is not None:
+            count = session.export_jsonl(args.metrics_out)
+            print(f"wrote {count} observability record(s) to {args.metrics_out}")
+        return 0
+    finally:
+        if session is not None:
+            obs.uninstall()
+
+
 def _cmd_tune(args) -> int:
     from .core import TriADConfig
     from .data import make_archive
@@ -375,6 +484,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "profile": _cmd_profile,
         "report": _cmd_report,
+        "serve-replay": _cmd_serve_replay,
         "tune": _cmd_tune,
     }
     return handlers[args.command](args)

@@ -19,20 +19,38 @@ from .distance import znorm_subsequences
 __all__ = ["left_matrix_profile", "StreamingDiscordDetector"]
 
 
-def left_matrix_profile(series: np.ndarray, length: int) -> np.ndarray:
+def left_matrix_profile(series: np.ndarray, length: int, chunk: int = 256) -> np.ndarray:
     """Exact left matrix profile.
 
     ``profile[i]`` is the distance from subsequence ``i`` to its nearest
     neighbor among subsequences ``j`` with ``j + length <= i`` (fully in
     the past).  Entries with no eligible neighbor are ``inf``.
+
+    Computed in chunks of ``chunk`` query rows: each chunk's distances to
+    every eligible past subsequence are a single matrix product via the
+    dot-product identity ``||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b``, with
+    the not-yet-past columns masked per row.  Memory stays
+    ``O(chunk * count)`` and the interpreter loop runs ``count / chunk``
+    times instead of ``count`` times.
     """
     z = znorm_subsequences(series, length)
     count = len(z)
     profile = np.full(count, np.inf)
-    for i in range(length, count):
-        eligible = z[: i - length + 1]
-        sq = ((eligible - z[i]) ** 2).sum(axis=1)
-        profile[i] = np.sqrt(max(float(sq.min()), 0.0))
+    norms = (z**2).sum(axis=1)
+    for start in range(length, count, chunk):
+        stop = min(start + chunk, count)
+        # Row i may match columns j <= i - length; the widest row in this
+        # chunk (i = stop - 1) reaches column stop - 1 - length.
+        width = stop - length
+        sq = (
+            norms[start:stop, None]
+            + norms[None, :width]
+            - 2.0 * (z[start:stop] @ z[:width].T)
+        )
+        rows = np.arange(start, stop)
+        future = np.arange(width)[None, :] > (rows[:, None] - length)
+        sq[future] = np.inf
+        profile[start:stop] = np.sqrt(np.maximum(sq.min(axis=1), 0.0))
     return profile
 
 
@@ -42,6 +60,10 @@ class _Alert:
 
     index: int
     distance: float
+
+
+#: Trailing left-NN distances used for the alert-threshold baseline.
+BASELINE_WINDOW = 512
 
 
 class StreamingDiscordDetector:
@@ -79,10 +101,17 @@ class StreamingDiscordDetector:
         # clean periodic signal yield ~zero distances and ~zero variance,
         # which would otherwise make any numerical jitter alert.
         self.min_distance = min_distance
+        # ``max_history`` bounds the pool of past z-normed subsequences a
+        # new window is matched against (None = unbounded pool).  The
+        # threshold baseline is bounded separately and unconditionally:
+        # only the trailing ``BASELINE_WINDOW`` left-NN distances are
+        # retained, so memory stays O(max_history + BASELINE_WINDOW)
+        # even on an infinite stream.
         self.max_history = max_history
         self._buffer: list[float] = []
         self._history: list[np.ndarray] = []  # z-normed past subsequences
-        self._distances: list[float] = []
+        self._distances: list[float] = []  # trailing window only (see above)
+        self._distances_seen = 0  # total distances ever recorded
         self.alerts: list[_Alert] = []
         self._count = 0
 
@@ -117,8 +146,13 @@ class StreamingDiscordDetector:
             sq = ((matrix - z) ** 2).sum(axis=1)
             distance = float(np.sqrt(max(sq.min(), 0.0)))
             self._distances.append(distance)
-            if len(self._distances) > self.warmup:
-                baseline = np.asarray(self._distances[:-1][-512:])
+            self._distances_seen += 1
+            # Keep one extra entry so the baseline below can exclude the
+            # distance just appended and still span BASELINE_WINDOW.
+            if len(self._distances) > BASELINE_WINDOW + 1:
+                del self._distances[: -(BASELINE_WINDOW + 1)]
+            if self._distances_seen > self.warmup:
+                baseline = np.asarray(self._distances[:-1][-BASELINE_WINDOW:])
                 threshold = max(
                     baseline.mean() + self.sigma * baseline.std(), self.min_distance
                 )

@@ -1,0 +1,63 @@
+"""Online serving: multi-stream scoring on top of fitted detectors.
+
+The production-facing layer of the reproduction (ROADMAP north star):
+per-stream sliding-window state (:mod:`repro.serve.stream`), a
+versioned model registry with hot-swap and a graceful-degradation chain
+(:mod:`repro.serve.registry`), a micro-batching scoring engine with
+admission control (:mod:`repro.serve.engine`), online drift monitors
+(:mod:`repro.serve.drift`), and a labelled-replay harness
+(:mod:`repro.serve.replay`, surfaced as ``repro serve-replay``).
+
+Quick start::
+
+    from repro.serve import build_registry, build_engine, replay_dataset
+
+    registry = build_registry(fitted_triad)        # triad -> SR -> discord
+    engine = build_engine(registry,
+                          window_length=fitted_triad.plan.length,
+                          stride=fitted_triad.plan.stride,
+                          expected_period=fitted_triad.plan.period)
+    for alert in engine.ingest("sensor-7", value):
+        page_someone(alert)
+
+See ``docs/SERVING.md`` for the architecture and semantics.
+"""
+
+from .drift import DriftMonitor, DriftSignal, PeriodChangeMonitor, ScoreShiftMonitor
+from .engine import EngineConfig, ScoringEngine, StreamAlert
+from .registry import (
+    DegradationExhaustedError,
+    DiscordWindowScorer,
+    ModelEntry,
+    ModelRegistry,
+    SpectralResidualWindowScorer,
+    TriADWindowScorer,
+    WindowScorer,
+)
+from .replay import FailAfter, ReplayReport, build_engine, build_registry, replay_dataset
+from .stream import ReadyWindow, RingBuffer, StreamState
+
+__all__ = [
+    "RingBuffer",
+    "ReadyWindow",
+    "StreamState",
+    "WindowScorer",
+    "TriADWindowScorer",
+    "SpectralResidualWindowScorer",
+    "DiscordWindowScorer",
+    "ModelEntry",
+    "ModelRegistry",
+    "DegradationExhaustedError",
+    "EngineConfig",
+    "ScoringEngine",
+    "StreamAlert",
+    "DriftSignal",
+    "ScoreShiftMonitor",
+    "PeriodChangeMonitor",
+    "DriftMonitor",
+    "FailAfter",
+    "ReplayReport",
+    "build_registry",
+    "build_engine",
+    "replay_dataset",
+]

@@ -1,0 +1,241 @@
+"""Online drift monitors emitting retrain signals.
+
+A fitted detector encodes two assumptions about a stream: the score
+distribution it produces on normal data, and the periodicity its window
+plan was sized for (2.5 x the estimated period, paper Sec. IV-A2).
+Either can rot silently in production, so the engine can attach a
+:class:`DriftMonitor` that watches both:
+
+- :class:`ScoreShiftMonitor` freezes a per-stream reference of the
+  first scores, then compares a sliding recent window against it; a
+  recent mean more than ``threshold_sigma`` reference deviations away
+  signals ``score_shift``.
+- :class:`PeriodChangeMonitor` re-estimates the dominant period from a
+  ring of recent raw points every ``check_every`` points (via
+  :func:`repro.signal.period.estimate_period`); a relative change
+  beyond ``tolerance`` signals ``period_change``.
+
+Signals are advisory — the serving layer keeps scoring (possibly via
+the degradation chain) while an operator or retrain pipeline reacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import obs
+from ..signal.period import estimate_period
+from .stream import RingBuffer
+
+__all__ = ["DriftSignal", "ScoreShiftMonitor", "PeriodChangeMonitor", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftSignal:
+    """One emitted drift event.
+
+    ``kind`` is ``score_shift`` or ``period_change``; ``value`` is the
+    observed statistic (shift in reference sigmas, or the new period)
+    and ``reference`` what it was compared against.
+    """
+
+    stream_id: str
+    kind: str
+    at_index: int
+    value: float
+    reference: float
+    threshold: float
+
+    def as_dict(self) -> dict:
+        return {
+            "stream_id": self.stream_id,
+            "kind": self.kind,
+            "at_index": self.at_index,
+            "value": self.value,
+            "reference": self.reference,
+            "threshold": self.threshold,
+        }
+
+
+class ScoreShiftMonitor:
+    """Per-stream score-distribution shift against a frozen reference."""
+
+    def __init__(
+        self,
+        reference_size: int = 128,
+        recent_size: int = 64,
+        threshold_sigma: float = 3.0,
+        cooldown: int = 256,
+    ) -> None:
+        if reference_size < 2 or recent_size < 2:
+            raise ValueError("reference_size and recent_size must be >= 2")
+        self.reference_size = reference_size
+        self.recent_size = recent_size
+        self.threshold_sigma = threshold_sigma
+        self.cooldown = cooldown
+        self._reference: dict[str, list[float]] = {}
+        self._frozen: dict[str, tuple[float, float]] = {}  # mean, std
+        self._recent: dict[str, RingBuffer] = {}
+        self._quiet_until: dict[str, int] = {}
+        self._seen: dict[str, int] = {}
+
+    def update(self, stream_id: str, score: float, at_index: int) -> DriftSignal | None:
+        seen = self._seen.get(stream_id, 0) + 1
+        self._seen[stream_id] = seen
+        frozen = self._frozen.get(stream_id)
+        if frozen is None:
+            bank = self._reference.setdefault(stream_id, [])
+            bank.append(float(score))
+            if len(bank) >= self.reference_size:
+                values = np.asarray(bank)
+                self._frozen[stream_id] = (
+                    float(values.mean()),
+                    float(max(values.std(), 1e-8)),
+                )
+                del self._reference[stream_id]
+            return None
+        recent = self._recent.get(stream_id)
+        if recent is None:
+            recent = self._recent[stream_id] = RingBuffer(self.recent_size)
+        recent.append(float(score))
+        if len(recent) < self.recent_size:
+            return None
+        if seen < self._quiet_until.get(stream_id, 0):
+            return None
+        mean, std = frozen
+        shift = abs(recent.mean - mean) / std
+        if shift <= self.threshold_sigma:
+            return None
+        self._quiet_until[stream_id] = seen + self.cooldown
+        return DriftSignal(
+            stream_id=stream_id,
+            kind="score_shift",
+            at_index=at_index,
+            value=float(shift),
+            reference=mean,
+            threshold=self.threshold_sigma,
+        )
+
+    def reset(self, stream_id: str) -> None:
+        """Forget the stream's reference (call after retraining)."""
+        self._frozen.pop(stream_id, None)
+        self._reference.pop(stream_id, None)
+        self._recent.pop(stream_id, None)
+        self._quiet_until.pop(stream_id, None)
+
+    def reset_all(self) -> None:
+        """Forget every stream's reference (after a model change the
+        score scale — and thus every frozen reference — is stale)."""
+        self._frozen.clear()
+        self._reference.clear()
+        self._recent.clear()
+        self._quiet_until.clear()
+
+
+class PeriodChangeMonitor:
+    """Per-stream dominant-period re-estimation over recent raw points."""
+
+    def __init__(
+        self,
+        expected_period: int,
+        buffer_size: int | None = None,
+        check_every: int | None = None,
+        tolerance: float = 0.25,
+        cooldown_checks: int = 4,
+    ) -> None:
+        if expected_period < 2:
+            raise ValueError("expected_period must be >= 2")
+        self.expected_period = expected_period
+        self.buffer_size = buffer_size or max(8 * expected_period, 256)
+        self.check_every = check_every or max(2 * expected_period, 64)
+        self.tolerance = tolerance
+        self.cooldown_checks = cooldown_checks
+        self._buffers: dict[str, RingBuffer] = {}
+        self._quiet: dict[str, int] = {}
+
+    def update(self, stream_id: str, value: float, at_index: int) -> DriftSignal | None:
+        buffer = self._buffers.get(stream_id)
+        if buffer is None:
+            buffer = self._buffers[stream_id] = RingBuffer(self.buffer_size)
+        buffer.append(float(value))
+        if len(buffer) < self.buffer_size or at_index % self.check_every != 0:
+            return None
+        quiet = self._quiet.get(stream_id, 0)
+        if quiet > 0:
+            self._quiet[stream_id] = quiet - 1
+            return None
+        estimated = estimate_period(
+            buffer.view(), default=self.expected_period
+        )
+        deviation = abs(estimated - self.expected_period) / self.expected_period
+        if deviation <= self.tolerance:
+            return None
+        self._quiet[stream_id] = self.cooldown_checks
+        return DriftSignal(
+            stream_id=stream_id,
+            kind="period_change",
+            at_index=at_index,
+            value=float(estimated),
+            reference=float(self.expected_period),
+            threshold=self.tolerance,
+        )
+
+
+class DriftMonitor:
+    """Facade the engine drives: scores and raw points in, signals out.
+
+    ``signals`` accumulates every emitted :class:`DriftSignal`;
+    :meth:`retrain_recommended` answers whether a stream has drifted on
+    either axis since the last :meth:`acknowledge`.
+    """
+
+    def __init__(
+        self,
+        score_monitor: ScoreShiftMonitor | None = None,
+        period_monitor: PeriodChangeMonitor | None = None,
+    ) -> None:
+        self.score_monitor = score_monitor
+        self.period_monitor = period_monitor
+        self.signals: list[DriftSignal] = []
+        self._flagged: set[str] = set()
+
+    def observe_score(self, stream_id: str, score: float, at_index: int) -> None:
+        if self.score_monitor is None:
+            return
+        signal = self.score_monitor.update(stream_id, score, at_index)
+        if signal is not None:
+            self._emit(signal)
+
+    def observe_point(self, stream_id: str, value: float, at_index: int) -> None:
+        if self.period_monitor is None:
+            return
+        signal = self.period_monitor.update(stream_id, value, at_index)
+        if signal is not None:
+            self._emit(signal)
+
+    def _emit(self, signal: DriftSignal) -> None:
+        self.signals.append(signal)
+        self._flagged.add(signal.stream_id)
+        obs.incr(f"serve.drift.{signal.kind}")
+        obs.event(
+            "serve.drift",
+            stream=signal.stream_id,
+            kind=signal.kind,
+            value=signal.value,
+        )
+
+    def model_changed(self) -> None:
+        """Invalidate score references after a hot-swap or failover."""
+        if self.score_monitor is not None:
+            self.score_monitor.reset_all()
+
+    def retrain_recommended(self, stream_id: str) -> bool:
+        return stream_id in self._flagged
+
+    def acknowledge(self, stream_id: str) -> None:
+        """Clear the retrain flag (the operator acted on it)."""
+        self._flagged.discard(stream_id)
+        if self.score_monitor is not None:
+            self.score_monitor.reset(stream_id)

@@ -1,0 +1,150 @@
+"""Per-stream sliding-window state for the online scoring engine.
+
+A production stream is unbounded, so per-stream state must be O(window):
+:class:`RingBuffer` keeps the last ``capacity`` points in a fixed numpy
+array with O(1) append and O(1) incremental mean/std (running sum and
+sum-of-squares, corrected on eviction).  :class:`StreamState` layers the
+window/stride cadence on top: every ``stride`` points past the first
+full window it emits a :class:`ReadyWindow` carrying the raw values plus
+the already-computed moments, so downstream z-normalisation costs one
+vectorised subtract/divide and zero recomputed statistics.
+
+Float drift from the running sums is bounded by refreshing them from
+the buffer contents every ``_REFRESH_EVERY`` appends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RingBuffer", "ReadyWindow", "StreamState"]
+
+_EPS = 1e-8
+_REFRESH_EVERY = 8192
+
+
+class RingBuffer:
+    """Fixed-capacity float ring buffer with O(1) running moments."""
+
+    __slots__ = ("_data", "_size", "_next", "_sum", "_sumsq", "_appends")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._data = np.zeros(capacity, dtype=np.float64)
+        self._size = 0
+        self._next = 0
+        self._sum = 0.0
+        self._sumsq = 0.0
+        self._appends = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        return len(self._data)
+
+    def append(self, value: float) -> None:
+        value = float(value)
+        if self._size == len(self._data):
+            evicted = self._data[self._next]
+            self._sum -= evicted
+            self._sumsq -= evicted * evicted
+        else:
+            self._size += 1
+        self._data[self._next] = value
+        self._next = (self._next + 1) % len(self._data)
+        self._sum += value
+        self._sumsq += value * value
+        self._appends += 1
+        if self._appends % _REFRESH_EVERY == 0:
+            self._refresh()
+
+    def _refresh(self) -> None:
+        """Re-derive the running sums exactly, bounding float drift."""
+        live = self.view()
+        self._sum = float(live.sum())
+        self._sumsq = float((live * live).sum())
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._size if self._size else 0.0
+
+    @property
+    def std(self) -> float:
+        if not self._size:
+            return 0.0
+        variance = self._sumsq / self._size - self.mean**2
+        return float(np.sqrt(max(variance, 0.0)))
+
+    def view(self) -> np.ndarray:
+        """The buffered points in chronological order (a copy)."""
+        if self._size < len(self._data):
+            return self._data[: self._size].copy()
+        return np.concatenate([self._data[self._next :], self._data[: self._next]])
+
+
+@dataclass(frozen=True)
+class ReadyWindow:
+    """One window of a stream, ready to be scored.
+
+    ``end_index`` is the number of points the stream had ingested when
+    the window closed, so the window covers stream positions
+    ``[end_index - len(window), end_index)``.  ``mean``/``std`` are the
+    ring buffer's O(1) running moments at emission time.
+    """
+
+    stream_id: str
+    end_index: int
+    window: np.ndarray
+    mean: float
+    std: float
+
+    @property
+    def start_index(self) -> int:
+        return self.end_index - len(self.window)
+
+    def znormed(self) -> np.ndarray:
+        """The window z-normalised with the precomputed moments."""
+        if self.std < _EPS:
+            return np.zeros_like(self.window)
+        return (self.window - self.mean) / self.std
+
+
+class StreamState:
+    """Sliding-window cadence for one stream.
+
+    Emits the first window once ``length`` points have arrived and a new
+    one every ``stride`` points thereafter, mirroring the offline
+    segmentation of :func:`repro.signal.windows.sliding_windows`.
+    """
+
+    def __init__(self, stream_id: str, length: int, stride: int) -> None:
+        if length < 2:
+            raise ValueError("window length must be >= 2")
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.stream_id = stream_id
+        self.length = length
+        self.stride = stride
+        self.buffer = RingBuffer(length)
+        self.count = 0
+        self._next_emit = length
+
+    def push(self, value: float) -> ReadyWindow | None:
+        """Ingest one point; returns a window when one just closed."""
+        self.buffer.append(value)
+        self.count += 1
+        if self.count < self._next_emit:
+            return None
+        self._next_emit = self.count + self.stride
+        return ReadyWindow(
+            stream_id=self.stream_id,
+            end_index=self.count,
+            window=self.buffer.view(),
+            mean=self.buffer.mean,
+            std=self.buffer.std,
+        )

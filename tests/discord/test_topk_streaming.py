@@ -69,6 +69,28 @@ class TestLeftMatrixProfile:
         assert np.all(np.isinf(profile[:length]))
         assert np.all(np.isfinite(profile[length:]))
 
+    def test_matches_python_loop_reference(self, rng):
+        from repro.discord.distance import znorm_subsequences
+
+        x = rng.normal(size=300)
+        length = 14
+        profile = left_matrix_profile(x, length)
+        z = znorm_subsequences(x, length)
+        reference = np.full(len(z), np.inf)
+        for i in range(length, len(z)):
+            eligible = z[: i - length + 1]
+            sq = ((eligible - z[i]) ** 2).sum(axis=1)
+            reference[i] = np.sqrt(max(float(sq.min()), 0.0))
+        finite = np.isfinite(reference)
+        np.testing.assert_allclose(profile[finite], reference[finite], atol=1e-9)
+        assert np.all(np.isinf(profile[~finite]))
+
+    def test_chunk_invariance(self, rng):
+        x = rng.normal(size=250)
+        a = left_matrix_profile(x, 10, chunk=3)
+        b = left_matrix_profile(x, 10, chunk=1024)
+        np.testing.assert_allclose(a, b, equal_nan=True)
+
     def test_manual_check(self, rng):
         from repro.discord.distance import znorm_subsequences
 
@@ -112,6 +134,27 @@ class TestStreamingDetector:
         for value in rng.normal(size=500):
             detector.update(float(value))
         assert len(detector._history) <= 50
+
+    def test_distance_baseline_is_bounded(self, rng):
+        from repro.discord.streaming import BASELINE_WINDOW
+
+        detector = StreamingDiscordDetector(length=5, warmup=5)
+        for value in rng.normal(size=3000):
+            detector.update(float(value))
+        # The threshold baseline only ever reads the trailing
+        # BASELINE_WINDOW entries, so the list must not grow past that
+        # (plus the one in-flight distance) on an unbounded stream.
+        assert len(detector._distances) <= BASELINE_WINDOW + 1
+        assert detector._distances_seen > BASELINE_WINDOW + 1
+
+    def test_trimming_does_not_change_alerts(self, two_anomaly_series):
+        # warmup accounting uses the total-seen counter, not the trimmed
+        # list length, so alerts match the untrimmed implementation.
+        detector = StreamingDiscordDetector(length=25, warmup=40, sigma=4.0)
+        for value in two_anomaly_series[:700]:
+            detector.update(value)
+        assert detector.alerts
+        assert 350 <= detector.alerts[0].index <= 460
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,143 @@
+"""Tests for the online drift monitors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.drift import DriftMonitor, PeriodChangeMonitor, ScoreShiftMonitor
+
+
+def feed_scores(monitor, stream, values, start_index=0):
+    signals = []
+    for i, value in enumerate(values):
+        signal = monitor.update(stream, float(value), start_index + i)
+        if signal is not None:
+            signals.append(signal)
+    return signals
+
+
+class TestScoreShiftMonitor:
+    def make(self, **kwargs):
+        defaults = dict(reference_size=32, recent_size=16, threshold_sigma=3.0, cooldown=64)
+        defaults.update(kwargs)
+        return ScoreShiftMonitor(**defaults)
+
+    def test_no_signal_on_stationary_scores(self, rng):
+        monitor = self.make()
+        scores = rng.normal(size=300) * 0.1 + 1.0
+        assert feed_scores(monitor, "s", scores) == []
+
+    def test_mean_shift_signals_once_then_cools_down(self, rng):
+        monitor = self.make()
+        normal = rng.normal(size=40) * 0.1 + 1.0
+        shifted = rng.normal(size=60) * 0.1 + 3.0
+        signals = feed_scores(monitor, "s", np.concatenate([normal, shifted]))
+        assert len(signals) == 1
+        signal = signals[0]
+        assert signal.kind == "score_shift"
+        assert signal.value > monitor.threshold_sigma
+        assert signal.reference == pytest.approx(1.0, abs=0.1)
+
+    def test_signal_repeats_after_cooldown(self, rng):
+        monitor = self.make(cooldown=32)
+        normal = rng.normal(size=40) * 0.1 + 1.0
+        shifted = rng.normal(size=200) * 0.1 + 3.0
+        signals = feed_scores(monitor, "s", np.concatenate([normal, shifted]))
+        assert len(signals) >= 2
+
+    def test_streams_are_independent(self, rng):
+        monitor = self.make()
+        normal = rng.normal(size=40) * 0.1 + 1.0
+        shifted = rng.normal(size=60) * 0.1 + 5.0
+        feed_scores(monitor, "healthy", np.concatenate([normal, normal]))
+        signals = feed_scores(monitor, "drifting", np.concatenate([normal, shifted]))
+        assert {s.stream_id for s in signals} == {"drifting"}
+
+    def test_reset_all_rebanks_references(self, rng):
+        monitor = self.make()
+        normal = rng.normal(size=40) * 0.1 + 1.0
+        feed_scores(monitor, "s", normal)
+        monitor.reset_all()
+        # Scores on a totally different scale: with a fresh reference
+        # bank this is the new normal, so no signal.
+        other_scale = rng.normal(size=60) * 0.1 + 50.0
+        assert feed_scores(monitor, "s", other_scale) == []
+
+
+class TestPeriodChangeMonitor:
+    def test_no_signal_while_period_holds(self):
+        monitor = PeriodChangeMonitor(expected_period=20, buffer_size=160, check_every=40)
+        t = np.arange(2000)
+        wave = np.sin(2 * np.pi * t / 20)
+        signals = []
+        for i, value in enumerate(wave):
+            signal = monitor.update("s", float(value), i)
+            if signal is not None:
+                signals.append(signal)
+        assert signals == []
+
+    def test_period_doubling_signals(self):
+        monitor = PeriodChangeMonitor(
+            expected_period=20, buffer_size=160, check_every=40, tolerance=0.25
+        )
+        t = np.arange(800)
+        slow = np.sin(2 * np.pi * t / 40)  # double the expected period
+        signals = []
+        for i, value in enumerate(slow):
+            signal = monitor.update("s", float(value), i)
+            if signal is not None:
+                signals.append(signal)
+        assert signals
+        assert signals[0].kind == "period_change"
+        assert signals[0].value == pytest.approx(40, abs=6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodChangeMonitor(expected_period=1)
+
+
+class TestDriftMonitorFacade:
+    def test_signals_accumulate_and_flag_streams(self, rng):
+        monitor = DriftMonitor(
+            score_monitor=ScoreShiftMonitor(reference_size=16, recent_size=8)
+        )
+        normal = rng.normal(size=20) * 0.1 + 1.0
+        shifted = rng.normal(size=20) * 0.1 + 4.0
+        for i, value in enumerate(np.concatenate([normal, shifted])):
+            monitor.observe_score("s", float(value), i)
+        assert monitor.signals
+        assert monitor.retrain_recommended("s")
+        assert not monitor.retrain_recommended("other")
+        monitor.acknowledge("s")
+        assert not monitor.retrain_recommended("s")
+
+    def test_model_changed_invalidates_references(self, rng):
+        score_monitor = ScoreShiftMonitor(reference_size=16, recent_size=8)
+        monitor = DriftMonitor(score_monitor=score_monitor)
+        for i, value in enumerate(rng.normal(size=20) * 0.1 + 1.0):
+            monitor.observe_score("s", float(value), i)
+        monitor.model_changed()
+        # New scale after a failover: no score_shift false alarm.
+        for i, value in enumerate(rng.normal(size=40) * 0.1 + 99.0):
+            monitor.observe_score("s", float(value), 20 + i)
+        assert [s for s in monitor.signals if s.kind == "score_shift"] == []
+
+    def test_monitors_are_optional(self):
+        monitor = DriftMonitor()
+        monitor.observe_score("s", 1.0, 0)
+        monitor.observe_point("s", 1.0, 0)
+        assert monitor.signals == []
+
+    def test_as_dict_round_trips(self, rng):
+        import json
+
+        monitor = DriftMonitor(
+            score_monitor=ScoreShiftMonitor(reference_size=16, recent_size=8)
+        )
+        for i, value in enumerate(
+            np.concatenate([rng.normal(size=20) * 0.1, rng.normal(size=20) * 0.1 + 5.0])
+        ):
+            monitor.observe_score("s", float(value), i)
+        assert monitor.signals
+        json.dumps([s.as_dict() for s in monitor.signals])

@@ -1,0 +1,211 @@
+"""Tests for the micro-batching scoring engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.engine import EngineConfig, ScoringEngine
+from repro.serve.registry import ModelRegistry, WindowScorer
+
+
+class RecordingScorer(WindowScorer):
+    """Scores each window by its max value; records batch compositions."""
+
+    def __init__(self, name="recorder", offset=0.0, calibration=None):
+        self.name = name
+        self.offset = offset
+        self.batches = []
+        self._calibration = calibration
+
+    def score_windows(self, windows, batch):
+        self.batches.append([ready.stream_id for ready in batch])
+        return np.asarray(windows).max(axis=1) + self.offset
+
+    def calibration_scores(self, length, stride):
+        return self._calibration
+
+
+class FailingScorer(WindowScorer):
+    def __init__(self, name="broken"):
+        self.name = name
+
+    def score_windows(self, windows, batch):
+        raise RuntimeError("down")
+
+
+def make_engine(scorer, **config_kwargs):
+    registry = ModelRegistry()
+    registry.register(scorer)
+    defaults = dict(window_length=16, stride=4, warmup_scores=4)
+    defaults.update(config_kwargs)
+    return ScoringEngine(registry, EngineConfig(**defaults)), registry
+
+
+class TestMicroBatching:
+    def test_batches_mix_windows_from_many_streams(self, rng):
+        scorer = RecordingScorer()
+        engine, _ = make_engine(scorer, max_batch=8)
+        streams = [f"s{i}" for i in range(4)]
+        for value in rng.normal(size=200):
+            for stream in streams:
+                engine.ingest(stream, float(value))
+        engine.drain()
+
+        multi = [batch for batch in scorer.batches if len(set(batch)) > 1]
+        assert multi, "no batch contained windows from more than one stream"
+        sizes = [len(batch) for batch in scorer.batches]
+        assert max(sizes) == 8  # full micro-batches while the feed is hot
+        assert engine.stats.windows_scored == sum(sizes)
+
+    def test_every_emitted_window_is_scored_exactly_once(self, rng):
+        scorer = RecordingScorer()
+        engine, _ = make_engine(scorer, max_batch=8, queue_capacity=10_000)
+        for value in rng.normal(size=150):
+            engine.ingest("only", float(value))
+        engine.drain()
+        expected = 1 + (150 - 16) // 4  # first full window, then every stride
+        assert engine.stats.windows_scored == expected
+        assert engine.stats.shed == 0
+
+
+class TestAlerting:
+    def test_spike_alerts_only_on_the_spiked_stream(self, rng):
+        scorer = RecordingScorer()
+        engine, _ = make_engine(scorer, max_batch=4, alert_sigma=6.0)
+        quiet = rng.normal(size=400) * 0.1
+        spiked = quiet.copy()
+        spiked[300] = 50.0
+
+        alerts = []
+        for q, s in zip(quiet, spiked):
+            alerts.extend(engine.ingest("quiet", float(q)))
+            alerts.extend(engine.ingest("spiked", float(s)))
+        alerts.extend(engine.drain())
+
+        assert alerts, "spike did not alert"
+        assert {alert.stream_id for alert in alerts} == {"spiked"}
+        assert all(alert.score > alert.threshold for alert in alerts)
+        # The alerting window must cover the spike position.
+        assert any(
+            alert.index - engine.config.window_length <= 300 < alert.index
+            for alert in alerts
+        )
+
+    def test_no_alerts_during_cold_warmup(self, rng):
+        scorer = RecordingScorer()
+        engine, _ = make_engine(scorer, max_batch=1, warmup_scores=10)
+        # Spike inside the first few windows: baseline has no calibration
+        # and too few scores, so the engine must stay quiet.
+        series = rng.normal(size=40) * 0.1
+        series[20] = 50.0
+        alerts = engine.ingest_many("s", series)
+        alerts.extend(engine.drain())
+        assert alerts == []
+
+    def test_calibration_seeding_alerts_from_the_first_window(self, rng):
+        calibration = rng.normal(size=64) * 0.1
+        scorer = RecordingScorer(calibration=calibration)
+        engine, _ = make_engine(scorer, max_batch=1, warmup_scores=10)
+        series = rng.normal(size=40) * 0.1
+        series[20] = 50.0
+        alerts = engine.ingest_many("s", series)
+        alerts.extend(engine.drain())
+        assert alerts, "seeded baseline should alert without live warmup"
+
+
+class TestAdmissionControl:
+    def test_oldest_windows_are_shed_at_capacity(self, rng):
+        scorer = RecordingScorer()
+        # max_batch larger than capacity: flush never triggers during
+        # ingestion, so the queue must shed to stay bounded.
+        engine, _ = make_engine(scorer, max_batch=64, queue_capacity=4)
+        for value in rng.normal(size=200):
+            engine.ingest("s", float(value))
+        assert engine.queue_depth <= 4
+        assert engine.stats.shed > 0
+        engine.drain()
+        # Only the freshest windows survived.
+        kept = scorer.batches[0]
+        assert len(kept) == 4
+
+
+class TestFailover:
+    def test_failover_keeps_streams_flowing_and_resets_baselines(self, rng):
+        registry = ModelRegistry()
+        primary = RecordingScorer(name="primary", offset=0.0)
+        fallback = RecordingScorer(name="fallback", offset=100.0)
+        entry = registry.register(primary, max_failures=1)
+        registry.register(fallback)
+        engine = ScoringEngine(
+            registry,
+            EngineConfig(
+                window_length=16,
+                stride=4,
+                max_batch=4,
+                warmup_scores=4,
+                alert_sigma=8.0,
+            ),
+        )
+
+        streams = ["a", "b"]
+        alerts = []
+        values = rng.normal(size=300) * 0.1
+        for i, value in enumerate(values):
+            if i == 150:
+                primary.score_windows = FailingScorer().score_windows
+            for stream in streams:
+                alerts.extend(engine.ingest(stream, float(value)))
+        alerts.extend(engine.drain())
+
+        assert entry.tripped
+        assert engine.stats.fallback_batches > 0
+        assert {"primary@v1", "fallback@v1"} <= engine.stats.models_used
+        # The +100 scale jump must not alert: baselines reset on failover.
+        assert alerts == []
+        # Both streams kept producing scored windows after the switch.
+        post_switch = [b for b in fallback.batches]
+        assert any("a" in batch for batch in post_switch)
+        assert any("b" in batch for batch in post_switch)
+
+
+class TestAdaptiveBatching:
+    def test_limit_halves_on_overrun_and_recovers(self):
+        scorer = RecordingScorer()
+        engine, _ = make_engine(scorer, max_batch=16, latency_budget_s=1.0)
+        assert engine.batch_limit == 16
+        engine._adapt_batch_limit(2.0)
+        assert engine.batch_limit == 8
+        engine._adapt_batch_limit(2.0)
+        assert engine.batch_limit == 4
+        engine._adapt_batch_limit(0.1)  # comfortably under budget / 4
+        assert engine.batch_limit == 8
+        engine._adapt_batch_limit(0.5)  # between budget/4 and budget: hold
+        assert engine.batch_limit == 8
+
+    def test_limit_never_leaves_bounds(self):
+        scorer = RecordingScorer()
+        engine, _ = make_engine(scorer, max_batch=4, latency_budget_s=1.0)
+        for _ in range(10):
+            engine._adapt_batch_limit(5.0)
+        assert engine.batch_limit == 1
+        for _ in range(10):
+            engine._adapt_batch_limit(0.01)
+        assert engine.batch_limit == 4
+
+
+class TestReport:
+    def test_report_is_json_ready(self, rng):
+        import json
+
+        scorer = RecordingScorer()
+        engine, _ = make_engine(scorer, max_batch=4)
+        for value in rng.normal(size=100):
+            engine.ingest("s", float(value))
+        engine.drain()
+        report = engine.report()
+        json.dumps(report)
+        assert report["streams"] == 1
+        assert report["windows_scored"] > 0
+        assert report["latency_ms"]["p50"] >= 0.0
+        assert report["chain"][0]["model"] == "recorder@v1"

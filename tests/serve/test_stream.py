@@ -1,0 +1,109 @@
+"""Tests for per-stream sliding-window state (repro.serve.stream)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.stream import RingBuffer, StreamState
+from repro.signal.windows import sliding_windows
+
+
+class TestRingBuffer:
+    def test_moments_match_numpy_before_wrap(self, rng):
+        buffer = RingBuffer(64)
+        values = rng.normal(size=40)
+        for value in values:
+            buffer.append(value)
+        assert len(buffer) == 40
+        assert buffer.mean == pytest.approx(values.mean())
+        assert buffer.std == pytest.approx(values.std())
+        assert np.array_equal(buffer.view(), values)
+
+    def test_moments_match_numpy_after_wrap(self, rng):
+        buffer = RingBuffer(32)
+        values = rng.normal(size=200) * 3.0 + 7.0
+        for value in values:
+            buffer.append(value)
+        live = values[-32:]
+        assert len(buffer) == 32
+        assert buffer.mean == pytest.approx(live.mean())
+        assert buffer.std == pytest.approx(live.std())
+        assert np.array_equal(buffer.view(), live)
+
+    def test_view_is_chronological_and_a_copy(self):
+        buffer = RingBuffer(4)
+        for value in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]:
+            buffer.append(value)
+        view = buffer.view()
+        assert list(view) == [3.0, 4.0, 5.0, 6.0]
+        view[0] = 99.0
+        assert list(buffer.view()) == [3.0, 4.0, 5.0, 6.0]
+
+    def test_periodic_refresh_bounds_drift(self, rng):
+        # Drive well past the refresh interval with values whose running
+        # sums would otherwise accumulate float error.
+        buffer = RingBuffer(16)
+        values = rng.normal(size=20_000) * 1e6
+        for value in values:
+            buffer.append(value)
+        live = values[-16:]
+        assert buffer.mean == pytest.approx(live.mean(), rel=1e-9)
+        assert buffer.std == pytest.approx(live.std(), rel=1e-6)
+
+    def test_empty_and_invalid(self):
+        buffer = RingBuffer(8)
+        assert len(buffer) == 0
+        assert buffer.mean == 0.0
+        assert buffer.std == 0.0
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+
+class TestStreamState:
+    def test_emission_cadence_matches_offline_segmentation(self, rng):
+        # The online cadence must reproduce the offline sliding_windows
+        # segmentation (modulo the tail-anchored final window).
+        series = rng.normal(size=500)
+        length, stride = 96, 24
+        state = StreamState("s", length, stride)
+        emitted = [ready for ready in (state.push(v) for v in series) if ready]
+
+        offline, starts = sliding_windows(series, length, stride)
+        regular = [s for s in starts if s % stride == 0]
+        assert [r.start_index for r in emitted] == regular
+        for ready in emitted:
+            assert np.array_equal(ready.window, series[ready.start_index : ready.end_index])
+
+    def test_window_moments_are_window_moments(self, rng):
+        series = rng.normal(size=300) * 2.0 + 5.0
+        state = StreamState("s", 50, 10)
+        for value in series:
+            ready = state.push(value)
+            if ready is not None:
+                assert ready.mean == pytest.approx(ready.window.mean())
+                assert ready.std == pytest.approx(ready.window.std())
+
+    def test_znormed_matches_manual(self, rng):
+        series = rng.normal(size=120)
+        state = StreamState("s", 64, 16)
+        ready = None
+        for value in series:
+            ready = state.push(value) or ready
+        assert ready is not None
+        expected = (ready.window - ready.window.mean()) / ready.window.std()
+        assert np.allclose(ready.znormed(), expected)
+
+    def test_znormed_constant_window_is_zeros(self):
+        state = StreamState("s", 8, 4)
+        ready = None
+        for _ in range(8):
+            ready = state.push(3.25) or ready
+        assert ready is not None
+        assert np.array_equal(ready.znormed(), np.zeros(8))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamState("s", 1, 1)
+        with pytest.raises(ValueError):
+            StreamState("s", 8, 0)
