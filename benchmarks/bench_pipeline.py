@@ -1,0 +1,60 @@
+"""Feature-pipeline benchmark (``BENCH_pipeline.json``).
+
+The claim backing the ``repro.pipeline`` refactor: memoizing per-domain
+feature extraction (once per window set, sliced per batch, batched
+residual decomposition) speeds up the trainer's epoch loop by >= 1.5x
+on an extraction-heavy configuration *without moving a single loss
+value* (legacy vs memoized losses must agree within 1e-9; in practice
+they are bit-equal).
+
+The measurement itself lives in ``scripts/bench_pipeline.py`` — run
+that to (re)generate ``BENCH_pipeline.json`` at the repo root — and
+this module re-runs it under the ``bench`` marker so
+``pytest -m bench`` covers the gate too::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_pipeline.py -m bench
+
+Tier-1 (`pytest -x -q`) never collects it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "bench_pipeline.py"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_pipeline_script", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_pipeline_script", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def report():
+    return _load_bench().run_bench(repeats=3)
+
+
+def test_losses_are_identical(report):
+    assert report["loss_max_abs_diff"] <= 1e-9
+
+
+def test_memoized_epoch_loop_is_faster(report):
+    assert report["speedup_x"] >= 1.5, (
+        f"memoized epoch loop only {report['speedup_x']:.2f}x faster "
+        f"(legacy {report['legacy_epoch_loop_s']:.3f}s vs "
+        f"memoized {report['memoized_epoch_loop_s']:.3f}s)"
+    )
+
+
+def test_gate_passes(report):
+    assert report["gate"]["passed"]

@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Import-layering lint for ``src/repro``.
+
+Enforces the layer order documented in ``docs/PIPELINE.md``: a package
+may import (at module load) only from *strictly lower* layers.  This is
+what keeps ``repro.pipeline`` importable below ``core``/``baselines``/
+``eval``/``serve`` and prevents the contract sprawl this lint was added
+alongside (four layers each defining their own detector protocol) from
+growing back.
+
+    0  data, signal, nn, metrics, runtime, validation   (leaves)
+    1  obs, augment
+    2  discord
+    3  pipeline          (the canonical window/feature/contract layer)
+    4  core, baselines
+    5  eval, serve
+    6  viz, cli          (presentation; imports lazily anyway)
+
+Note: this order deviates from an idealized "observability above the
+model" stacking — ``core`` instruments itself through ``obs`` and
+guards training through ``runtime``, so both sit *below* it here.  The
+lint encodes the dependency reality and keeps it a DAG.
+
+Only module-scope imports count.  Function-level imports are the
+sanctioned escape hatch for presentation-layer laziness and genuine
+back-references (e.g. ``pipeline.adapters`` loading ``core.persistence``
+inside ``from_file``); ``if TYPE_CHECKING:`` blocks are typing-only and
+exempt.
+
+Exit status 0 when clean, 1 with one ``file:line`` diagnostic per
+violation otherwise.  Run from anywhere::
+
+    python scripts/check_layering.py
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+LAYERS: dict[str, int] = {
+    "data": 0,
+    "signal": 0,
+    "nn": 0,
+    "metrics": 0,
+    "runtime": 0,
+    "validation": 0,
+    "obs": 1,
+    "augment": 1,
+    "discord": 2,
+    "pipeline": 3,
+    "core": 4,
+    "baselines": 4,
+    "eval": 5,
+    "serve": 5,
+    "viz": 6,
+    "cli": 6,
+    # The facade re-exports the public API and the entry point launches
+    # it; both sit above everything by construction.
+    "__init__": 7,
+    "__main__": 7,
+}
+
+
+def _top_package(path: Path, package_root: Path) -> str:
+    """``repro/<pkg>/...`` -> ``<pkg>``; ``repro/<mod>.py`` -> ``<mod>``."""
+    rel = path.relative_to(package_root)
+    return rel.parts[0].removesuffix(".py")
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    node = test
+    if isinstance(node, ast.Attribute):
+        return node.attr == "TYPE_CHECKING"
+    return isinstance(node, ast.Name) and node.id == "TYPE_CHECKING"
+
+
+def _imported_packages(
+    node: ast.Import | ast.ImportFrom, path: Path, package_root: Path
+):
+    """Yield the ``repro`` top-level package(s) an import node touches."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[0] == "repro" and len(parts) > 1:
+                yield parts[1]
+        return
+    if node.level == 0:
+        parts = (node.module or "").split(".")
+        if parts[0] != "repro":
+            return
+        remainder = parts[1:]
+    else:
+        rel = path.relative_to(package_root)
+        base = list(rel.parts[:-1])
+        hops = node.level - 1
+        if hops > len(base):
+            return  # escapes the package; not ours to judge
+        base = base[: len(base) - hops] if hops else base
+        remainder = base + ((node.module or "").split(".") if node.module else [])
+    if remainder:
+        yield remainder[0]
+    else:
+        # ``from repro import x`` / ``from .. import x`` — the names
+        # themselves are the subpackages.
+        for alias in node.names:
+            yield alias.name
+
+
+def _module_scope_imports(tree: ast.Module, path: Path, package_root: Path):
+    """(node, packages) for every import that runs at module load."""
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.If):
+            if _is_type_checking(node.test):
+                continue
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+        elif isinstance(node, (ast.Try, ast.With)):
+            stack.extend(
+                child for child in ast.iter_child_nodes(node)
+                if isinstance(child, ast.stmt)
+            )
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node, list(_imported_packages(node, path, package_root))
+
+
+def check(package_root: Path = PACKAGE_ROOT) -> list[str]:
+    """Return one diagnostic string per layering violation."""
+    violations: list[str] = []
+    for path in sorted(package_root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        where = path.relative_to(package_root.parent)
+        source_pkg = _top_package(path, package_root)
+        source_layer = LAYERS.get(source_pkg)
+        if source_layer is None:
+            violations.append(
+                f"{where}:1: package {source_pkg!r} is not in the layer "
+                f"map (scripts/check_layering.py)"
+            )
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node, targets in _module_scope_imports(tree, path, package_root):
+            for target in targets:
+                if target == source_pkg:
+                    continue
+                target_layer = LAYERS.get(target)
+                if target_layer is None:
+                    violations.append(
+                        f"{where}:{node.lineno}: import of unknown package "
+                        f"repro.{target}"
+                    )
+                elif target_layer >= source_layer:
+                    violations.append(
+                        f"{where}:{node.lineno}: {source_pkg} (layer "
+                        f"{source_layer}) imports repro.{target} (layer "
+                        f"{target_layer}) at module scope — only strictly "
+                        f"lower layers are allowed; use a function-level "
+                        f"import if the dependency is genuinely lazy"
+                    )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"\n{len(violations)} layering violation(s)")
+        return 1
+    print("layering clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,31 +13,11 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from ..pipeline.scores import calibrate_threshold, spread_window_scores
 from ..signal.windows import sliding_windows
 from ..validation import ensure_series
 
 __all__ = ["BaseDetector", "spread_window_scores", "calibrate_threshold"]
-
-
-def spread_window_scores(
-    scores: np.ndarray, starts: np.ndarray, length: int, total: int
-) -> np.ndarray:
-    """Convert per-window scores into per-point scores by averaging the
-    scores of every window covering each point."""
-    accumulated = np.zeros(total)
-    counts = np.zeros(total)
-    for score, start in zip(scores, starts):
-        accumulated[start : start + length] += score
-        counts[start : start + length] += 1.0
-    counts[counts == 0] = 1.0
-    return accumulated / counts
-
-
-def calibrate_threshold(train_scores: np.ndarray, sigma: float = 3.0) -> float:
-    """Mean + ``sigma`` std of the training scores — the conventional
-    label-free threshold for reconstruction/likelihood detectors."""
-    train_scores = np.asarray(train_scores, dtype=np.float64)
-    return float(train_scores.mean() + sigma * train_scores.std())
 
 
 class BaseDetector(ABC):
@@ -64,6 +44,14 @@ class BaseDetector(ABC):
 
     def _remember_train(self, train_series: np.ndarray) -> np.ndarray:
         self._train_series = ensure_series(train_series, "train_series", min_length=8)
+        return self._train_series
+
+    @property
+    def train_series(self) -> np.ndarray:
+        """The training series this detector was fit on (public accessor
+        for calibration consumers such as the pipeline adapters)."""
+        if self._train_series is None:
+            raise RuntimeError(f"{self.name} must be fit() before use")
         return self._train_series
 
     def detect(self, test_series: np.ndarray) -> np.ndarray:

@@ -114,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(0 = training-free chain: spectral residual "
                               "-> streaming discord)")
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--max-window", type=int, default=256,
+                         help="cap on the window length the plan derives "
+                              "from the training split (TriADConfig."
+                              "max_window)")
     p_serve.add_argument("--streams", type=int, default=4,
                          help="replay the unit as N concurrent streams")
     p_serve.add_argument("--max-batch", type=int, default=32,
@@ -383,14 +387,17 @@ def _cmd_serve_replay(args) -> int:
 
     from . import TriAD, TriADConfig, obs
     from .core import load_detector
+    from .pipeline import default_pipeline
     from .runtime import RetryPolicy
     from .serve import build_engine, build_registry, replay_dataset
-    from .signal.windows import plan_windows
 
     dataset = _load_dataset(args.dataset)
     print(f"dataset {dataset.name}: test={len(dataset.test)} "
           f"streams={args.streams}")
 
+    config = TriADConfig(
+        epochs=args.epochs, seed=args.seed, max_window=args.max_window
+    )
     detector = None
     if args.load is not None:
         if not args.load.exists():
@@ -400,14 +407,14 @@ def _cmd_serve_replay(args) -> int:
         detector = load_detector(args.load)
         print(f"loaded primary from {args.load}")
     elif args.epochs > 0:
-        detector = TriAD(
-            TriADConfig(epochs=args.epochs, seed=args.seed, max_window=256)
-        ).fit(dataset.train)
+        detector = TriAD(config).fit(dataset.train)
         print(f"trained TriAD primary ({args.epochs} epochs)")
     if detector is not None:
         plan = detector.plan
     else:
-        plan = plan_windows(dataset.train, max_length=256)
+        # Same plan the detector would have trained under — one source
+        # of plan truth (the config) instead of a hardcoded max_length.
+        plan = default_pipeline().plan_for(dataset.train, config)
         print("training-free chain (spectral residual -> streaming discord)")
 
     budget_s = (

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["TriADConfig", "DOMAINS"]
+from ..pipeline.features import DOMAINS
 
-DOMAINS = ("temporal", "frequency", "residual")
+__all__ = ["TriADConfig", "DOMAINS"]
 
 
 @dataclass(frozen=True)

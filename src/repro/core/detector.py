@@ -23,11 +23,11 @@ import numpy as np
 from .. import nn
 from ..discord.distance import znorm_subsequences
 from ..discord.merlin import MerlinResult, merlin
-from ..signal.windows import WindowPlan, sliding_windows
+from ..pipeline import FeaturePipeline, default_pipeline
+from ..signal.windows import WindowPlan
 from ..validation import ensure_series
 from .config import TriADConfig
 from .encoder import TriDomainEncoder
-from .features import extract_all_domains
 from .scoring import VoteResult, score_votes
 from .trainer import TrainResult, train_encoder
 
@@ -77,8 +77,13 @@ class TriAD:
         detection.predictions  # point-wise 0/1 labels
     """
 
-    def __init__(self, config: TriADConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: TriADConfig | None = None,
+        pipeline: FeaturePipeline | None = None,
+    ) -> None:
         self.config = config or TriADConfig()
+        self._pipeline = pipeline if pipeline is not None else default_pipeline()
         self._result: TrainResult | None = None
         self._train_series: np.ndarray | None = None
 
@@ -90,7 +95,9 @@ class TriAD:
         self._train_series = ensure_series(
             train_series, "train_series", min_length=4 * self.config.min_window
         )
-        self._result = train_encoder(self._train_series, self.config)
+        self._result = train_encoder(
+            self._train_series, self.config, pipeline=self._pipeline
+        )
         return self
 
     @property
@@ -102,8 +109,30 @@ class TriAD:
         return self._fitted().plan
 
     @property
+    def pipeline(self) -> FeaturePipeline:
+        """The window/feature pipeline this detector windows through."""
+        return self._pipeline
+
+    @property
     def train_losses(self) -> list[float]:
         return self._fitted().train_losses
+
+    def train_windows(
+        self, stride: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Public accessor for the training-series window set.
+
+        Returns ``(windows, starts)`` under the fitted plan's length and
+        ``stride`` (the plan stride when omitted), served through the
+        shared pipeline cache — consumers like the serving registry's
+        calibration no longer re-window private detector state.
+        """
+        plan = self.plan
+        if self._train_series is None:
+            raise RuntimeError("TriAD must be fit() before use")
+        return self._pipeline.windows(
+            self._train_series, plan.length, stride or plan.stride
+        )
 
     def _fitted(self) -> TrainResult:
         if self._result is None:
@@ -113,21 +142,38 @@ class TriAD:
     # ------------------------------------------------------------------
     # Representations and similarity ranking
     # ------------------------------------------------------------------
-    def representations(self, windows: np.ndarray) -> dict[str, np.ndarray]:
-        """Per-domain L2-normalized representations for given windows."""
+    def representations(
+        self, windows: np.ndarray, cached: bool = False
+    ) -> dict[str, np.ndarray]:
+        """Per-domain L2-normalized representations for given windows.
+
+        ``cached=True`` memoizes the feature-extraction stage through
+        the pipeline — use it for window sets that recur (the training
+        set, a test series swept across seeds), not for one-off
+        content like live serve batches.
+        """
         result = self._fitted()
-        features = extract_all_domains(windows, result.plan.period, self.config.domains)
+        if cached:
+            features = self._pipeline.features(
+                windows, result.plan.period, self.config.domains
+            )
+        else:
+            features = self._pipeline.extract(
+                windows, result.plan.period, self.config.domains
+            )
         with nn.no_grad():
             encoded = result.encoder(features)
         return {domain: r.data for domain, r in encoded.items()}
 
-    def window_similarity(self, windows: np.ndarray) -> dict[str, np.ndarray]:
+    def window_similarity(
+        self, windows: np.ndarray, cached: bool = False
+    ) -> dict[str, np.ndarray]:
         """Mean pairwise cosine similarity of each window per domain.
 
         Low similarity marks a window as deviant within its domain —
         the signal behind Fig. 11's similarity curves.
         """
-        reps = self.representations(windows)
+        reps = self.representations(windows, cached=cached)
         similarity: dict[str, np.ndarray] = {}
         for domain, r in reps.items():
             gram = r @ r.T
@@ -142,19 +188,56 @@ class TriAD:
     # ------------------------------------------------------------------
     # Inference pipeline
     # ------------------------------------------------------------------
-    def nominate_windows(
+    def _similarity_profile(
         self, test_series: np.ndarray
-    ) -> tuple[dict[str, tuple[int, int]], dict[str, np.ndarray], np.ndarray, int]:
-        """Stage 1: the most deviant window per domain."""
+    ) -> tuple[dict[str, np.ndarray], np.ndarray, int]:
+        """Window the series (cached) and rank every window per domain."""
         plan = self.plan
-        windows, starts = sliding_windows(test_series, plan.length, plan.stride)
-        similarity = self.window_similarity(windows)
+        windows, starts = self._pipeline.windows(test_series, plan.length, plan.stride)
+        similarity = self.window_similarity(windows, cached=True)
+        return similarity, starts, plan.length
+
+    @staticmethod
+    def _candidates_from(
+        similarity: dict[str, np.ndarray], starts: np.ndarray, length: int
+    ) -> dict[str, tuple[int, int]]:
         candidates: dict[str, tuple[int, int]] = {}
         for domain, scores in similarity.items():
             index = int(np.argmin(scores))
             start = int(starts[index])
-            candidates[domain] = (start, start + plan.length)
-        return candidates, similarity, starts, plan.length
+            candidates[domain] = (start, start + length)
+        return candidates
+
+    @staticmethod
+    def _top_picks_from(
+        similarity: dict[str, np.ndarray],
+        starts: np.ndarray,
+        length: int,
+        z: int,
+    ) -> dict[str, list[tuple[int, int]]]:
+        nominations: dict[str, list[tuple[int, int]]] = {}
+        for domain, scores in similarity.items():
+            remaining = scores.astype(np.float64).copy()
+            picks: list[tuple[int, int]] = []
+            for _ in range(z):
+                if not np.isfinite(remaining).any():
+                    break
+                index = int(np.argmin(remaining))
+                start = int(starts[index])
+                picks.append((start, start + length))
+                # Suppress neighbors of the chosen window.
+                near = np.abs(starts - start) < length
+                remaining[near] = np.inf
+            nominations[domain] = picks
+        return nominations
+
+    def nominate_windows(
+        self, test_series: np.ndarray
+    ) -> tuple[dict[str, tuple[int, int]], dict[str, np.ndarray], np.ndarray, int]:
+        """Stage 1: the most deviant window per domain."""
+        similarity, starts, length = self._similarity_profile(test_series)
+        candidates = self._candidates_from(similarity, starts, length)
+        return candidates, similarity, starts, length
 
     def nominate_top_windows(
         self, test_series: np.ndarray, z: int | None = None
@@ -168,24 +251,8 @@ class TriAD:
         multi-event streams.
         """
         z = z or self.config.top_z
-        plan = self.plan
-        windows, starts = sliding_windows(test_series, plan.length, plan.stride)
-        similarity = self.window_similarity(windows)
-        nominations: dict[str, list[tuple[int, int]]] = {}
-        for domain, scores in similarity.items():
-            remaining = scores.astype(np.float64).copy()
-            picks: list[tuple[int, int]] = []
-            for _ in range(z):
-                if not np.isfinite(remaining).any():
-                    break
-                index = int(np.argmin(remaining))
-                start = int(starts[index])
-                picks.append((start, start + plan.length))
-                # Suppress neighbors of the chosen window.
-                near = np.abs(starts - start) < plan.length
-                remaining[near] = np.inf
-            nominations[domain] = picks
-        return nominations
+        similarity, starts, length = self._similarity_profile(test_series)
+        return self._top_picks_from(similarity, starts, length, z)
 
     def select_window(
         self, test_series: np.ndarray, candidates: dict[str, tuple[int, int]]
@@ -245,9 +312,13 @@ class TriAD:
         test_series = ensure_series(
             test_series, "test_series", min_length=self.plan.length
         )
-        candidates, similarity, starts, length = self.nominate_windows(test_series)
+        # One windowing + one encoder pass feeds both the per-domain
+        # argmin candidates and the top-Z nomination pool (the seed code
+        # re-windowed and re-encoded the series for top_z > 1).
+        similarity, starts, length = self._similarity_profile(test_series)
+        candidates = self._candidates_from(similarity, starts, length)
         if self.config.top_z > 1:
-            extra = self.nominate_top_windows(test_series, self.config.top_z)
+            extra = self._top_picks_from(similarity, starts, length, self.config.top_z)
             pool = {
                 f"{domain}#{i}": window
                 for domain, picks in extra.items()

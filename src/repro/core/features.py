@@ -1,62 +1,18 @@
-"""Tri-domain feature extraction (paper Sec. III-B).
+"""Tri-domain feature extraction (paper Sec. III-B) — compatibility shim.
 
-Each window yields three views:
-
-- *temporal*: the z-normalized raw window, 1 channel;
-- *frequency*: Table I's spectral amplitude/phase/power, 3 channels;
-- *residual*: the window with its periodic structure removed, 1 channel.
+The extraction primitives now live in :mod:`repro.pipeline.features`
+so the pipeline layer can memoize windowing *and* featurization without
+importing upward into ``core``.  Import from here or from
+``repro.pipeline`` — they are the same functions.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from ..pipeline.features import (
+    DOMAINS,
+    domain_channels,
+    extract_all_domains,
+    extract_domain,
+)
 
-from ..signal.decompose import residual_component
-from ..signal.fft import frequency_features
-from ..signal.normalize import zscore
-from .config import DOMAINS
-
-__all__ = ["domain_channels", "extract_domain", "extract_all_domains"]
-
-
-def domain_channels(domain: str) -> int:
-    """Input-channel count per domain (1/3/1 as in the paper)."""
-    if domain == "frequency":
-        return 3
-    if domain in DOMAINS:
-        return 1
-    raise KeyError(f"unknown domain {domain!r}")
-
-
-def extract_domain(windows: np.ndarray, domain: str, period: int) -> np.ndarray:
-    """Extract one domain's features from a batch of windows.
-
-    Parameters
-    ----------
-    windows:
-        Array of shape ``(batch, length)``.
-    domain:
-        One of ``temporal``, ``frequency``, ``residual``.
-    period:
-        Dataset period (used by the residual decomposition).
-
-    Returns
-    -------
-    Array of shape ``(batch, channels, length)``.
-    """
-    windows = np.atleast_2d(np.asarray(windows, dtype=np.float64))
-    if domain == "temporal":
-        return zscore(windows, axis=-1)[:, None, :]
-    if domain == "frequency":
-        return frequency_features(windows)
-    if domain == "residual":
-        residuals = np.stack([residual_component(w, period) for w in windows])
-        return residuals[:, None, :]
-    raise KeyError(f"unknown domain {domain!r}")
-
-
-def extract_all_domains(
-    windows: np.ndarray, period: int, domains: tuple[str, ...] = DOMAINS
-) -> dict[str, np.ndarray]:
-    """Extract every requested domain for a batch of windows."""
-    return {domain: extract_domain(windows, domain, period) for domain in domains}
+__all__ = ["DOMAINS", "domain_channels", "extract_domain", "extract_all_domains"]

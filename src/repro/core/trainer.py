@@ -23,12 +23,12 @@ import numpy as np
 
 from .. import nn, obs
 from ..augment import augment_batch
+from ..pipeline import FeaturePipeline, default_pipeline, extract_all_domains
 from ..runtime import DivergenceGuard
-from ..signal.windows import WindowPlan, plan_windows, sliding_windows
+from ..signal.windows import WindowPlan
 from ..validation import ensure_series, ensure_variation
 from .config import TriADConfig
 from .encoder import TriDomainEncoder
-from .features import extract_all_domains
 from .losses import total_contrastive_loss
 
 __all__ = ["TrainResult", "train_encoder"]
@@ -70,8 +70,16 @@ def _epoch_loss(
     rng: np.random.Generator,
     optimizer: nn.Adam | None,
     grad_norms: list[float] | None = None,
+    features: dict[str, np.ndarray] | None = None,
 ) -> float:
     """One pass over ``windows``; updates weights when ``optimizer`` given.
+
+    ``features`` are the precomputed per-domain features of ``windows``
+    (row-aligned).  When given, each batch's original-window features
+    are sliced out instead of re-extracted — bit-identical because
+    extraction is row-independent, and the reason the epoch loop no
+    longer extracts once per batch per epoch.  Augmented windows are
+    fresh content every epoch, so their features are always extracted.
 
     A batch whose loss is non-finite is recorded but *not* backpropagated
     (its gradients would poison the weights and optimizer moments); the
@@ -82,7 +90,10 @@ def _epoch_loss(
     for batch_idx in _batches(len(windows), config.batch_size, rng):
         batch = windows[batch_idx]
         augmented = augment_batch(batch, rng)
-        original_features = extract_all_domains(batch, period, config.domains)
+        if features is not None:
+            original_features = {d: a[batch_idx] for d, a in features.items()}
+        else:
+            original_features = extract_all_domains(batch, period, config.domains)
         augmented_features = extract_all_domains(augmented, period, config.domains)
         r_orig = encoder(original_features)
         r_aug = encoder(augmented_features)
@@ -110,13 +121,19 @@ def train_encoder(
     train_series: np.ndarray,
     config: TriADConfig,
     guard: DivergenceGuard | None = None,
+    pipeline: FeaturePipeline | None = None,
 ) -> TrainResult:
     """Fit a :class:`TriDomainEncoder` on an anomaly-free training series.
 
     Returns the encoder with its best-validation weights restored,
     together with the window plan used for segmentation.  ``guard``
     customizes divergence handling (rollback budget, LR backoff); the
-    default tolerates two rollbacks before aborting.
+    default tolerates two rollbacks before aborting.  ``pipeline``
+    supplies windowing and memoized feature extraction (the shared
+    :func:`~repro.pipeline.default_pipeline` when omitted): per-domain
+    features of the training windows are computed once per window set —
+    and reused across seeds, since window content is seed-independent —
+    instead of once per batch per epoch.
 
     Raises ``ValueError`` when the series is non-finite, constant, or so
     short that the window plan cannot form a single contrastive batch.
@@ -124,22 +141,24 @@ def train_encoder(
     train_series = ensure_series(train_series, "train_series")
     ensure_variation(train_series, "train_series")
     guard = guard if guard is not None else DivergenceGuard()
+    pipeline = pipeline if pipeline is not None else default_pipeline()
     rng = np.random.default_rng(config.seed)
-    plan = plan_windows(
-        train_series,
-        periods_per_window=config.periods_per_window,
-        stride_fraction=config.stride_fraction,
-        min_length=config.min_window,
-        max_length=config.max_window,
-    )
-    windows, _ = sliding_windows(train_series, plan.length, plan.stride)
+    plan = pipeline.plan_for(train_series, config)
+    windows, _ = pipeline.windows(train_series, plan.length, plan.stride)
+    all_features = pipeline.features(windows, plan.period, config.domains)
 
-    # Hold out a random validation slice (paper: 10%).
+    # Hold out a random validation slice (paper: 10%).  Features are
+    # sliced with the same permutation so each split stays row-aligned
+    # with its windows.
     count = len(windows)
     val_count = max(int(round(count * config.validation_fraction)), 1) if count > 4 else 0
     order = rng.permutation(count)
-    val_windows = windows[order[:val_count]]
-    fit_windows = windows[order[val_count:]]
+    val_idx = order[:val_count]
+    fit_idx = order[val_count:]
+    val_windows = windows[val_idx]
+    fit_windows = windows[fit_idx]
+    val_features = {d: a[val_idx] for d, a in all_features.items()}
+    fit_features = {d: a[fit_idx] for d, a in all_features.items()}
 
     if len(fit_windows) < 2:
         raise ValueError(
@@ -169,7 +188,7 @@ def train_encoder(
             with obs.span("trainer.epoch"):
                 train_loss = _epoch_loss(
                     encoder, fit_windows, plan.period, config, rng, optimizer,
-                    grad_norms,
+                    grad_norms, features=fit_features,
                 )
             worst_norm = max(grad_norms) if grad_norms else None
             obs.gauge("trainer.lr", learning_rate)
@@ -209,7 +228,7 @@ def train_encoder(
                 with nn.no_grad():
                     val_loss = _epoch_loss(
                         encoder, val_windows, plan.period, config, rng,
-                        optimizer=None,
+                        optimizer=None, features=val_features,
                     )
                 result.val_losses.append(val_loss)
                 if val_loss < best_val:

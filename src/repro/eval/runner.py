@@ -16,12 +16,18 @@ the survivors with explicit coverage accounting.  An optional
 :class:`~repro.eval.persistence.SweepCheckpoint` persists every
 completed unit incrementally so an interrupted sweep resumes from the
 last completed (dataset, seed) pair.  See ``docs/RESILIENCE.md``.
+
+The ``Detector``/``ScoringDetector`` contracts come from
+:mod:`repro.pipeline.contracts` (re-exported here for compatibility) —
+the same protocols the serving layer adapts via
+:mod:`repro.pipeline.adapters`, so a chain entry and an archive
+detector are interchangeable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Protocol, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -36,6 +42,7 @@ from ..metrics import (
     point_adjust,
     roc_auc,
 )
+from ..pipeline import Detector, ScoringDetector
 from ..runtime import FailureReport, InvalidOutputError, RetryPolicy
 from ..validation import validate_dataset
 
@@ -64,22 +71,6 @@ METRIC_NAMES = (
     "affiliation_recall",
     "affiliation_f1",
 )
-
-
-class Detector(Protocol):
-    """Anything trainable on a series that emits binary predictions."""
-
-    def fit(self, train_series: np.ndarray) -> "Detector": ...
-
-    def predict(self, test_series: np.ndarray) -> np.ndarray: ...
-
-
-class ScoringDetector(Protocol):
-    """Detectors that also expose continuous anomaly scores."""
-
-    def fit(self, train_series: np.ndarray) -> "ScoringDetector": ...
-
-    def score_series(self, test_series: np.ndarray) -> np.ndarray: ...
 
 
 @dataclass

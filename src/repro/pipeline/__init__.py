@@ -1,0 +1,48 @@
+"""The unified window→feature→score pipeline layer.
+
+One set of contracts (:mod:`~repro.pipeline.contracts`), one memoized
+feature pipeline (:mod:`~repro.pipeline.feature_pipeline`), one family
+of adapters (:mod:`~repro.pipeline.adapters`), and the shared
+point-score utilities (:mod:`~repro.pipeline.scores`).  ``core``,
+``baselines``, ``eval``, and ``serve`` all build on this layer instead
+of re-deriving windows/features or defining their own detector
+contracts.  See ``docs/PIPELINE.md``.
+"""
+
+from .adapters import (
+    BaselineWindowScorer,
+    TriADWindowScorer,
+    WindowScorerDetector,
+    from_baseline,
+    from_triad,
+    from_window_scorer,
+)
+from .cache import CacheStats, FeatureCache, content_key
+from .contracts import Detector, ScoringDetector, WindowScorer
+from .feature_pipeline import FeaturePipeline, WindowFeatures, default_pipeline
+from .features import DOMAINS, domain_channels, extract_all_domains, extract_domain
+from .scores import calibrate_threshold, spread_window_scores
+
+__all__ = [
+    "Detector",
+    "ScoringDetector",
+    "WindowScorer",
+    "TriADWindowScorer",
+    "BaselineWindowScorer",
+    "WindowScorerDetector",
+    "from_triad",
+    "from_baseline",
+    "from_window_scorer",
+    "FeatureCache",
+    "CacheStats",
+    "content_key",
+    "FeaturePipeline",
+    "WindowFeatures",
+    "default_pipeline",
+    "DOMAINS",
+    "domain_channels",
+    "extract_domain",
+    "extract_all_domains",
+    "calibrate_threshold",
+    "spread_window_scores",
+]

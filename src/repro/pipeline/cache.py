@@ -1,0 +1,100 @@
+"""Content-keyed memo cache backing :class:`repro.pipeline.FeaturePipeline`.
+
+Keys are digests of array *content* (bytes + shape + dtype) plus the
+scalar parameters of the computation, so a hit is only possible when
+the inputs are value-identical — re-running a sweep over the same
+dataset across seeds hits, a different series or window plan misses.
+Entries are bounded by an LRU policy; cached arrays are returned
+read-only so one consumer cannot silently corrupt another's view.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CacheStats", "FeatureCache", "content_key"]
+
+
+def content_key(*parts) -> str:
+    """Digest arbitrary parts (arrays, scalars, tuples) into a cache key.
+
+    Arrays are hashed over their raw bytes together with shape and
+    dtype; everything else contributes its ``repr``.  Hashing is
+    O(bytes) with BLAKE2b — microseconds for typical window sets, noise
+    next to the extraction it memoizes.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            array = np.ascontiguousarray(part)
+            digest.update(f"ndarray:{array.dtype.str}:{array.shape}:".encode())
+            digest.update(array.tobytes())
+        else:
+            digest.update(f"{type(part).__name__}:{part!r};".encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class FeatureCache:
+    """Thread-safe LRU mapping content keys to cached pipeline results.
+
+    ``max_entries`` bounds memory: one entry is typically a window set
+    or a per-domain feature dict for one window set.  The default of 32
+    comfortably covers an archive sweep (one train + one test window
+    set per dataset) while keeping worst-case residency modest.
+    """
+
+    def __init__(self, max_entries: int = 32) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str):
+        """Return the cached value for ``key`` or ``None``, updating LRU."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: str, value) -> None:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (stats survive — they describe the session)."""
+        with self._lock:
+            self._entries.clear()

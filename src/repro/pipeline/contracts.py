@@ -1,0 +1,78 @@
+"""The canonical detector/scorer contracts.
+
+Before the pipeline layer existed the repo had four incompatible
+contracts — ``baselines.base.BaseDetector``, the ``eval.runner``
+protocols, ``serve.registry.WindowScorer``, and ``core.detector.TriAD``
+itself — and every new workload re-wrapped the same models.  These are
+now the single source of truth; ``eval.runner`` and ``serve.registry``
+import (and re-export) them, and :mod:`repro.pipeline.adapters`
+converts between the families.
+
+Three shapes cover everything in the repo:
+
+``Detector``
+    offline, binary: ``fit(train)`` then ``predict(test) -> 0/1``.
+``ScoringDetector``
+    offline, continuous: ``fit(train)`` then ``score_series(test)``.
+``WindowScorer``
+    online, batched: ``score_windows(windows, batch)`` maps raw windows
+    to one anomaly score each; what the serving engine micro-batches
+    against.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # serve sits above pipeline; typing-only reference
+    from ..serve.stream import ReadyWindow
+
+__all__ = ["Detector", "ScoringDetector", "WindowScorer"]
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """Anything trainable on a series that emits binary predictions."""
+
+    def fit(self, train_series: np.ndarray) -> "Detector": ...
+
+    def predict(self, test_series: np.ndarray) -> np.ndarray: ...
+
+
+@runtime_checkable
+class ScoringDetector(Protocol):
+    """Detectors that also expose continuous anomaly scores."""
+
+    def fit(self, train_series: np.ndarray) -> "ScoringDetector": ...
+
+    def score_series(self, test_series: np.ndarray) -> np.ndarray: ...
+
+
+class WindowScorer(ABC):
+    """Batch window-scoring contract the serving engine micro-batches
+    against.
+
+    ``windows`` is a ``(batch, length)`` array of *raw* values gathered
+    across streams; ``batch`` carries the per-window stream metadata
+    (:class:`repro.serve.stream.ReadyWindow`: stream id, absolute end
+    index, precomputed moments).  Stateless scorers may ignore
+    ``batch`` entirely — offline adapters pass lightweight stand-ins.
+    """
+
+    name: str = "scorer"
+
+    @abstractmethod
+    def score_windows(
+        self, windows: np.ndarray, batch: "Sequence[ReadyWindow]"
+    ) -> np.ndarray:
+        """One anomaly score per window (higher = more anomalous)."""
+
+    def calibration_scores(self, length: int, stride: int) -> np.ndarray | None:
+        """Scores this model produces on *normal* (training) data, or
+        ``None`` if unknown.  The engine seeds each new stream's alert
+        baseline with these so alerting is live from the first window
+        instead of after a warm-up — crucial right after a failover."""
+        return None

@@ -23,7 +23,6 @@ refuse a stream.  Retries within one entry follow the installed
 from __future__ import annotations
 
 import os
-from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -32,9 +31,9 @@ import numpy as np
 from .. import obs
 from ..baselines.spectral_residual import spectral_residual_saliency
 from ..discord.streaming import StreamingDiscordDetector
+from ..pipeline import TriADWindowScorer, WindowScorer, default_pipeline
 from ..runtime import RetryPolicy, RunBudget
 from ..signal.normalize import zscore
-from ..signal.windows import sliding_windows
 from .stream import ReadyWindow
 
 __all__ = [
@@ -52,106 +51,9 @@ class DegradationExhaustedError(RuntimeError):
     """Every scorer in the degradation chain is tripped or failed."""
 
 
-class WindowScorer(ABC):
-    """Batch window-scoring contract the engine micro-batches against.
-
-    ``windows`` is a ``(batch, length)`` array of *raw* values gathered
-    across streams; ``batch`` carries the per-window stream metadata
-    (stream id, absolute end index, precomputed moments).  Stateless
-    scorers may ignore ``batch`` entirely.
-    """
-
-    name: str = "scorer"
-
-    @abstractmethod
-    def score_windows(
-        self, windows: np.ndarray, batch: Sequence[ReadyWindow]
-    ) -> np.ndarray:
-        """One anomaly score per window (higher = more anomalous)."""
-
-    def calibration_scores(self, length: int, stride: int) -> np.ndarray | None:
-        """Scores this model produces on *normal* (training) data, or
-        ``None`` if unknown.  The engine seeds each new stream's alert
-        baseline with these so alerting is live from the first window
-        instead of after a warm-up — crucial right after a failover."""
-        return None
-
-
-class TriADWindowScorer(WindowScorer):
-    """Scores windows by representation-space distance to training data.
-
-    At construction every training window is encoded once per domain;
-    at serve time the whole cross-stream batch goes through a *single*
-    encoder forward pass per domain and each window's score is its mean
-    (over domains) nearest-neighbour distance to the training
-    representations — the online analogue of TriAD's stage-2
-    single-window selection.
-    """
-
-    name = "triad-encoder"
-
-    def __init__(self, detector, train_stride: int | None = None) -> None:
-        result = detector._fitted()  # raises if not fit — fail at build time
-        self._detector = detector
-        plan = result.plan
-        self.window_length = int(plan.length)
-        stride = train_stride or plan.stride
-        train_windows, _ = sliding_windows(detector._train_series, plan.length, stride)
-        reps = detector.representations(train_windows)
-        self._train_reps = {d: np.asarray(r, dtype=np.float64) for d, r in reps.items()}
-        self._train_norms = {
-            d: (r**2).sum(axis=1) for d, r in self._train_reps.items()
-        }
-        self._calibration: np.ndarray | None = None
-
-    @classmethod
-    def from_file(cls, path: str | os.PathLike, **kwargs) -> "TriADWindowScorer":
-        """Build from a detector saved with :func:`repro.core.save_detector`."""
-        from ..core.persistence import load_detector
-
-        return cls(load_detector(path), **kwargs)
-
-    def save(self, path: str | os.PathLike) -> None:
-        """Persist the wrapped detector with :func:`repro.core.save_detector`."""
-        from ..core.persistence import save_detector
-
-        save_detector(self._detector, path)
-
-    def score_windows(
-        self, windows: np.ndarray, batch: Sequence[ReadyWindow]
-    ) -> np.ndarray:
-        windows = np.atleast_2d(np.asarray(windows, dtype=np.float64))
-        if windows.shape[1] != self.window_length:
-            raise ValueError(
-                f"expected windows of length {self.window_length}, "
-                f"got {windows.shape[1]}"
-            )
-        reps = self._detector.representations(windows)
-        scores = np.zeros(len(windows))
-        for domain, r in reps.items():
-            train = self._train_reps[domain]
-            # Nearest-neighbour distance via the dot-product identity.
-            sq = (
-                (r**2).sum(axis=1)[:, None]
-                + self._train_norms[domain][None, :]
-                - 2.0 * (r @ train.T)
-            )
-            scores += np.sqrt(np.maximum(sq.min(axis=1), 0.0))
-        return scores / max(len(reps), 1)
-
-    def calibration_scores(self, length: int, stride: int) -> np.ndarray:
-        """Leave-one-out NN distances among the training representations
-        — the score distribution this model produces on normal data."""
-        if self._calibration is None:
-            total = None
-            for domain, train in self._train_reps.items():
-                norms = self._train_norms[domain]
-                sq = norms[:, None] + norms[None, :] - 2.0 * (train @ train.T)
-                np.fill_diagonal(sq, np.inf)
-                distances = np.sqrt(np.maximum(sq.min(axis=1), 0.0))
-                total = distances if total is None else total + distances
-            self._calibration = total / max(len(self._train_reps), 1)
-        return self._calibration
+# The window-scoring contract and the TriAD adapter are defined in the
+# pipeline layer (repro.pipeline.contracts / repro.pipeline.adapters)
+# and re-exported here so existing serve-facing imports keep working.
 
 
 class SpectralResidualWindowScorer(WindowScorer):
@@ -177,7 +79,9 @@ class SpectralResidualWindowScorer(WindowScorer):
             return None
         key = (length, stride)
         if key not in self._calibration:
-            windows, _ = sliding_windows(self._calibration_series, length, stride)
+            windows, _ = default_pipeline().windows(
+                self._calibration_series, length, stride
+            )
             self._calibration[key] = self.score_windows(windows, ())
         return self._calibration[key]
 

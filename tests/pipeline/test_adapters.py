@@ -1,0 +1,184 @@
+"""Adapter round-trips between the canonical contracts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.eval.runner as runner
+import repro.pipeline as pipeline_pkg
+import repro.serve.registry as registry_mod
+from repro.baselines import SpectralResidualDetector
+from repro.core import TriAD, TriADConfig
+from repro.pipeline import (
+    Detector,
+    ScoringDetector,
+    WindowScorer,
+    WindowScorerDetector,
+    from_baseline,
+    from_triad,
+    from_window_scorer,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_triad() -> TriAD:
+    t = np.arange(600)
+    series = np.sin(2 * np.pi * t / 32) + 0.03 * np.cos(2 * np.pi * t / 7)
+    config = TriADConfig(
+        epochs=1, depth=1, hidden_dim=4, max_window=64, seed=0
+    )
+    return TriAD(config).fit(series)
+
+
+class TestContractReexports:
+    def test_eval_contracts_are_the_pipeline_contracts(self):
+        assert runner.Detector is Detector
+        assert runner.ScoringDetector is ScoringDetector
+
+    def test_serve_scorers_are_the_pipeline_adapters(self):
+        assert registry_mod.WindowScorer is WindowScorer
+        assert registry_mod.TriADWindowScorer is pipeline_pkg.TriADWindowScorer
+
+    def test_triad_satisfies_detector_protocol(self, fitted_triad):
+        assert isinstance(fitted_triad, Detector)
+
+    def test_baseline_satisfies_scoring_detector_protocol(self):
+        detector = SpectralResidualDetector()
+        assert isinstance(detector, Detector)
+        assert isinstance(detector, ScoringDetector)
+
+
+class TestFromTriad:
+    def test_scorer_flags_the_deviant_window(self, fitted_triad):
+        scorer = from_triad(fitted_triad)
+        length = scorer.window_length
+        t = np.arange(length)
+        normal = np.sin(2 * np.pi * t / 32)
+        spiked = normal.copy()
+        spiked[length // 2] += 6.0
+        scores = scorer.score_windows(np.stack([normal, spiked]), ())
+        assert scores.shape == (2,)
+        assert scores[1] > scores[0]
+
+    def test_calibration_scores_are_cached_and_finite(self, fitted_triad):
+        scorer = from_triad(fitted_triad)
+        first = scorer.calibration_scores(scorer.window_length, 16)
+        assert np.all(np.isfinite(first))
+        assert scorer.calibration_scores(scorer.window_length, 16) is first
+
+    def test_rejects_unfit_detector(self):
+        with pytest.raises(RuntimeError):
+            from_triad(TriAD())
+
+    def test_rejects_wrong_window_length(self, fitted_triad):
+        scorer = from_triad(fitted_triad)
+        with pytest.raises(ValueError):
+            scorer.score_windows(np.zeros((1, scorer.window_length + 1)), ())
+
+    def test_train_windows_is_public_and_matches_plan(self, fitted_triad):
+        windows, starts = fitted_triad.train_windows()
+        assert windows.shape[1] == fitted_triad.plan.length
+        assert len(windows) == len(starts)
+        with pytest.raises(RuntimeError):
+            TriAD().train_windows()
+
+
+class TestFromBaseline:
+    def test_window_score_is_the_peak_point_score(self):
+        train = np.sin(2 * np.pi * np.arange(400) / 25)
+        detector = SpectralResidualDetector().fit(train)
+        scorer = from_baseline(detector)
+        assert isinstance(scorer, WindowScorer)
+        quiet = np.sin(2 * np.pi * np.arange(64) / 25)
+        loud = quiet.copy()
+        loud[30] += 5.0
+        windows = np.stack([quiet, loud])
+        scores = scorer.score_windows(windows, ())
+        expected = [float(detector.score_series(w).max()) for w in windows]
+        assert scores.tolist() == pytest.approx(expected)
+
+    def test_calibration_uses_public_train_series(self):
+        train = np.sin(2 * np.pi * np.arange(400) / 25)
+        detector = SpectralResidualDetector().fit(train)
+        np.testing.assert_array_equal(detector.train_series, train)
+        scorer = from_baseline(detector)
+        calibration = scorer.calibration_scores(64, 16)
+        assert calibration is not None
+        assert np.all(np.isfinite(calibration))
+        # Too-short training data means no calibration, not a crash.
+        assert scorer.calibration_scores(1000, 16) is None
+
+    def test_unfit_baseline_has_no_calibration(self):
+        scorer = from_baseline(SpectralResidualDetector())
+        assert scorer.calibration_scores(64, 16) is None
+
+
+class _RecordingScorer(WindowScorer):
+    """Max-abs scorer that records the stream ids it was shown."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.stream_ids: list[str] = []
+
+    def score_windows(self, windows, batch):
+        self.stream_ids.extend(ready.stream_id for ready in batch)
+        return np.abs(np.atleast_2d(windows)).max(axis=1)
+
+
+class TestFromWindowScorer:
+    def test_offline_detector_finds_the_spike(self):
+        train = np.sin(2 * np.pi * np.arange(400) / 25)
+        test = np.sin(2 * np.pi * np.arange(300) / 25)
+        test[150:153] += 8.0
+        detector = from_window_scorer(_RecordingScorer(), 50, 10)
+        detector.fit(train)
+        assert isinstance(detector, WindowScorerDetector)
+        assert isinstance(detector, Detector)
+        assert isinstance(detector, ScoringDetector)
+        predictions = detector.predict(test)
+        assert predictions.shape == test.shape
+        flagged = np.flatnonzero(predictions)
+        assert len(flagged)
+        assert 150 in flagged or abs(flagged - 150).min() <= 50
+
+    def test_scores_spread_back_to_every_point(self):
+        detector = from_window_scorer(_RecordingScorer(), 50, 10)
+        scores = detector.score_series(np.ones(200))
+        assert scores.shape == (200,)
+        assert np.all(np.isfinite(scores))
+
+    def test_each_replay_gets_a_fresh_stream_id(self):
+        scorer = _RecordingScorer()
+        detector = from_window_scorer(scorer, 50, 10)
+        detector.score_series(np.ones(120))
+        first = set(scorer.stream_ids)
+        scorer.stream_ids.clear()
+        detector.score_series(np.ones(120))
+        second = set(scorer.stream_ids)
+        assert len(first) == len(second) == 1
+        assert first != second
+
+    def test_offline_batch_metadata_matches_ready_window(self):
+        seen = []
+
+        class Probe(WindowScorer):
+            name = "probe"
+
+            def score_windows(self, windows, batch):
+                seen.extend(batch)
+                return np.zeros(len(np.atleast_2d(windows)))
+
+        detector = from_window_scorer(Probe(), 50, 10)
+        detector.score_series(np.arange(120, dtype=np.float64))
+        assert seen
+        ready = seen[0]
+        assert ready.end_index - ready.start_index == len(ready.window)
+        assert ready.mean == pytest.approx(float(ready.window.mean()))
+        assert ready.std == pytest.approx(float(ready.window.std()))
+
+    def test_predict_requires_fit(self):
+        detector = from_window_scorer(_RecordingScorer(), 50, 10)
+        with pytest.raises(RuntimeError):
+            detector.predict(np.ones(120))

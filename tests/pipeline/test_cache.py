@@ -1,0 +1,89 @@
+"""Content-keyed cache semantics: keys, LRU bounds, stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pipeline import CacheStats, FeatureCache, content_key
+
+
+class TestContentKey:
+    def test_equal_arrays_share_a_key(self):
+        a = np.arange(64, dtype=np.float64)
+        b = np.arange(64, dtype=np.float64)
+        assert a is not b
+        assert content_key("windows", a, 16) == content_key("windows", b, 16)
+
+    def test_content_changes_the_key(self):
+        a = np.arange(64, dtype=np.float64)
+        b = a.copy()
+        b[-1] += 1e-12
+        assert content_key(a) != content_key(b)
+
+    def test_dtype_and_shape_are_part_of_the_key(self):
+        a = np.zeros(8, dtype=np.float64)
+        assert content_key(a) != content_key(a.astype(np.float32))
+        assert content_key(a) != content_key(a.reshape(2, 4))
+
+    def test_scalar_parts_disambiguate(self):
+        a = np.arange(32, dtype=np.float64)
+        assert content_key("features", a, 8) != content_key("features", a, 9)
+        assert content_key("features", a, 8) != content_key("windows", a, 8)
+
+    def test_non_contiguous_array_hashes_like_its_copy(self):
+        base = np.arange(64, dtype=np.float64).reshape(8, 8)
+        view = base[:, ::2]
+        assert content_key(view) == content_key(np.ascontiguousarray(view))
+
+    def test_int_and_string_parts_do_not_collide(self):
+        # repr alone would make 1 and "1" collide; type names disambiguate.
+        assert content_key(1) != content_key("1")
+
+
+class TestFeatureCache:
+    def test_round_trip_and_stats(self):
+        cache = FeatureCache(max_entries=4)
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = FeatureCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_put_existing_key_updates_without_evicting(self):
+        cache = FeatureCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.stats.evictions == 0
+
+    def test_clear_drops_entries_but_keeps_stats(self):
+        cache = FeatureCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.stats.hits == 1
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            FeatureCache(max_entries=0)
+
+    def test_stats_start_empty(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0

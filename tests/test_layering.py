@@ -1,0 +1,70 @@
+"""Tier-1 gate: the import-layering lint must pass on the source tree.
+
+``scripts/check_layering.py`` enforces the layer DAG documented in
+``docs/PIPELINE.md`` (pipeline below core/baselines, which sit below
+eval/serve).  Running it as a test means a PR that reintroduces an
+upward module-scope import fails CI, not just a manual lint run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_layering.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_layering", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_layering", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_source_tree_respects_the_layering():
+    checker = _load_checker()
+    violations = checker.check()
+    assert violations == [], "\n".join(violations)
+
+
+def test_checker_flags_upward_imports(tmp_path):
+    checker = _load_checker()
+    fake = tmp_path / "repro"
+    (fake / "signal").mkdir(parents=True)
+    (fake / "signal" / "__init__.py").write_text("from ..core import thing\n")
+    (fake / "core").mkdir()
+    (fake / "core" / "__init__.py").write_text("")
+    original = checker.PACKAGE_ROOT
+    checker.PACKAGE_ROOT = fake
+    try:
+        violations = checker.check(fake)
+    finally:
+        checker.PACKAGE_ROOT = original
+    assert len(violations) == 1
+    assert "signal" in violations[0] and "core" in violations[0]
+
+
+def test_checker_exempts_lazy_and_typing_imports(tmp_path):
+    checker = _load_checker()
+    fake = tmp_path / "repro"
+    (fake / "signal").mkdir(parents=True)
+    (fake / "signal" / "__init__.py").write_text(
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from ..core import thing\n"
+        "def lazy():\n"
+        "    from ..core import thing\n"
+        "    return thing\n"
+    )
+    (fake / "core").mkdir()
+    (fake / "core" / "__init__.py").write_text("")
+    original = checker.PACKAGE_ROOT
+    checker.PACKAGE_ROOT = fake
+    try:
+        violations = checker.check(fake)
+    finally:
+        checker.PACKAGE_ROOT = original
+    assert violations == []
