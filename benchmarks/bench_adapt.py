@@ -1,0 +1,141 @@
+"""Adaptive-serving benchmarks (``BENCH_adapt.json``).
+
+Two claims back the self-healing loop's design (``serve.adapt``):
+
+- **adaptation is cheap** — running the chaos drill (level shift ->
+  drift -> guarded retrain -> shadow evaluation -> promotion) must add
+  < 10% to the wall time of the identical replay without chaos, i.e.
+  shadow evaluation and retraining do not tank replay throughput (gate
+  enforced by ``scripts/bench_adapt.py``);
+- **recovery is fast** — the promoted decision's wall time (retrain +
+  shadow evaluation + swap) must stay under the controller's configured
+  :class:`~repro.runtime.RunBudget`.
+
+The idle-controller benchmark additionally quantifies the per-point
+bookkeeping overhead of wrapping ingestion (no gate; informational).
+
+Run via ``python scripts/bench_adapt.py`` (writes ``BENCH_adapt.json``)
+or directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_adapt.py \
+        -m bench --benchmark-only
+
+Everything here carries the ``bench`` marker, so tier-1 (`pytest -x -q`)
+never collects it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.spec import Dataset
+from repro.serve import (
+    AdaptConfig,
+    AdaptiveController,
+    DriftMonitor,
+    LevelShift,
+    MomentShiftScorer,
+    ScoreShiftMonitor,
+    build_engine,
+    build_registry,
+    moment_trainer,
+    replay_dataset,
+)
+
+pytestmark = pytest.mark.bench
+
+BUDGET_SECONDS = 10.0
+
+
+@pytest.fixture(scope="module")
+def drill_dataset():
+    rng = np.random.default_rng(7)
+    t = np.arange(800 + 1600)
+    base = np.sin(2 * np.pi * t / 40) + rng.normal(0, 0.1, t.size)
+    train, test = base[:800], base[800:].copy()
+    labels = np.zeros(1600, dtype=np.int64)
+    test[300:316] += 4.0
+    labels[300:316] = 1
+    return Dataset(name="drill", train=train, test=test, labels=labels)
+
+
+def build_stack(train, with_controller=True):
+    registry = build_registry(
+        train_series=train, primary=MomentShiftScorer(train)
+    )
+    engine = build_engine(
+        registry,
+        window_length=32,
+        stride=8,
+        drift=DriftMonitor(
+            score_monitor=ScoreShiftMonitor(
+                reference_size=24,
+                recent_size=24,
+                threshold_sigma=4.0,
+                cooldown=48,
+                statistic="median",
+            )
+        ),
+        max_batch=16,
+        score_baseline=4096,
+    )
+    controller = None
+    if with_controller:
+        controller = AdaptiveController(
+            engine,
+            moment_trainer(),
+            config=AdaptConfig(
+                history_points=256,
+                min_history=128,
+                settle_points=192,
+                cooldown_points=256,
+                budget_seconds=BUDGET_SECONDS,
+                probation_points=256,
+            ),
+        )
+    return engine, controller
+
+
+def run_replay(dataset, with_controller, chaos=None):
+    engine, controller = build_stack(dataset.train, with_controller)
+    report = replay_dataset(
+        dataset, engine, streams=1, controller=controller, chaos=chaos
+    )
+    return report, controller
+
+
+def test_replay_plain_engine(benchmark, drill_dataset):
+    """No controller: the raw engine replay the overhead gates divide by."""
+    report, _ = benchmark.pedantic(
+        run_replay, args=(drill_dataset, False), rounds=5, iterations=1
+    )
+    assert report.points == 1600
+
+
+def test_replay_idle_controller(benchmark, drill_dataset):
+    """Controller attached but never triggered: pure wrapper bookkeeping."""
+    report, controller = benchmark.pedantic(
+        run_replay, args=(drill_dataset, True), rounds=5, iterations=1
+    )
+    assert controller.decisions == []
+    assert report.points == 1600
+
+
+def test_chaos_drill_self_heals(benchmark, drill_dataset):
+    """The full loop: shift -> drift -> retrain -> shadow -> promote."""
+    report, controller = benchmark.pedantic(
+        run_replay,
+        args=(drill_dataset, True, LevelShift(at=700, delta=5.0)),
+        rounds=5,
+        iterations=1,
+    )
+    promotions = [d for d in controller.decisions if d.action == "promoted"]
+    assert promotions, "drill did not promote — nothing to gate"
+    trigger = promotions[0].trigger or {}
+    benchmark.extra_info["time_to_recovery_s"] = promotions[0].elapsed_s
+    benchmark.extra_info["budget_seconds"] = BUDGET_SECONDS
+    benchmark.extra_info["detection_to_promotion_points"] = (
+        promotions[0].at_index - trigger.get("at_index", promotions[0].at_index)
+    )
+    benchmark.extra_info["decisions"] = len(controller.decisions)

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Run the adaptive-serving benchmark suite and write BENCH_adapt.json.
+
+Invokes ``benchmarks/bench_adapt.py`` under pytest-benchmark, condenses
+the report into a small, diffable baseline at the repo root, and
+enforces the adaptation acceptance gates::
+
+    python scripts/bench_adapt.py [--out BENCH_adapt.json]
+                                  [--max-overhead-pct 10.0]
+
+The condensed file keeps mean/min/stddev/rounds per benchmark plus the
+derived numbers:
+
+- ``adaptation_overhead_pct`` — (chaos-drill replay mean / idle-
+  controller replay mean - 1) * 100: the cost of drift handling,
+  guarded retraining, and shadow evaluation on top of the identical
+  replay where the loop never fires; the gate requires < 10%;
+- ``time_to_recovery_s`` vs ``budget_seconds`` — wall time of the
+  promoted decision (retrain + shadow evaluation + swap) against the
+  controller's configured RunBudget; the gate requires recovery to fit
+  inside the budget;
+- ``wrapper_overhead_pct`` — idle-controller replay vs plain engine
+  replay (informational: per-point bookkeeping of wrapping ingestion).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_suite(raw_json: Path) -> int:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable, "-m", "pytest",
+        str(REPO_ROOT / "benchmarks" / "bench_adapt.py"),
+        "-m", "bench",
+        "--benchmark-only",
+        "--benchmark-warmup=off",
+        f"--benchmark-json={raw_json}",
+        "-q",
+    ]
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def condense(raw_json: Path) -> dict:
+    report = json.loads(raw_json.read_text())
+    benchmarks: dict[str, dict] = {}
+    extra: dict[str, dict] = {}
+    for entry in report.get("benchmarks", []):
+        stats = entry.get("stats", {})
+        benchmarks[entry["name"]] = {
+            "mean_s": stats.get("mean"),
+            "min_s": stats.get("min"),
+            "stddev_s": stats.get("stddev"),
+            "rounds": stats.get("rounds"),
+        }
+        extra[entry["name"]] = entry.get("extra_info", {})
+    payload: dict = {
+        "suite": "benchmarks/bench_adapt.py",
+        "machine": report.get("machine_info", {}).get("machine"),
+        "python": report.get("machine_info", {}).get("python_version"),
+        "benchmarks": benchmarks,
+    }
+    plain = benchmarks.get("test_replay_plain_engine", {}).get("mean_s")
+    idle = benchmarks.get("test_replay_idle_controller", {}).get("mean_s")
+    drill = benchmarks.get("test_chaos_drill_self_heals", {}).get("mean_s")
+    if idle and drill:
+        payload["adaptation_overhead_pct"] = round((drill / idle - 1.0) * 100, 2)
+    if plain and idle:
+        payload["wrapper_overhead_pct"] = round((idle / plain - 1.0) * 100, 2)
+    drill_extra = extra.get("test_chaos_drill_self_heals", {})
+    for key in ("time_to_recovery_s", "budget_seconds",
+                "detection_to_promotion_points", "decisions"):
+        if key in drill_extra:
+            payload[key] = drill_extra[key]
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_adapt.json")
+    parser.add_argument("--max-overhead-pct", type=float, default=10.0,
+                        help="gate: max replay slowdown from the adaptation "
+                             "loop, percent (default 10)")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_json = Path(tmp) / "benchmark-raw.json"
+        code = run_suite(raw_json)
+        if code != 0:
+            print(f"benchmark suite failed (exit {code})", file=sys.stderr)
+            return code
+        payload = condense(raw_json)
+
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+    failed = False
+    overhead = payload.get("adaptation_overhead_pct")
+    if overhead is None:
+        print("gate: adaptation benchmarks missing from report", file=sys.stderr)
+        return 1
+    print(f"adaptation overhead: {overhead:+.2f}% "
+          f"(gate: < {args.max_overhead_pct}%)")
+    if overhead >= args.max_overhead_pct:
+        print("gate FAILED: adaptation loop slows replay beyond the cap",
+              file=sys.stderr)
+        failed = True
+    recovery = payload.get("time_to_recovery_s")
+    budget = payload.get("budget_seconds")
+    if recovery is None or budget is None:
+        print("gate: chaos drill recovery info missing", file=sys.stderr)
+        return 1
+    print(f"time to recovery: {recovery * 1e3:.2f}ms "
+          f"(gate: < RunBudget {budget:.1f}s)")
+    if recovery >= budget:
+        print("gate FAILED: recovery blew the configured RunBudget",
+              file=sys.stderr)
+        failed = True
+    if payload.get("wrapper_overhead_pct") is not None:
+        print(f"wrapper overhead (info): {payload['wrapper_overhead_pct']:+.2f}%")
+    if failed:
+        return 1
+    print("gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,17 @@ model" stacking — ``core`` instruments itself through ``obs`` and
 guards training through ``runtime``, so both sit *below* it here.  The
 lint encodes the dependency reality and keeps it a DAG.
 
+Within ``repro.serve`` a second, finer map (``SERVE_SUBLAYERS``) keeps
+the serving subsystem itself a DAG now that the adaptive controller
+(``serve.adapt``) sits between the engine and the replay harness:
+
+    0  stream            (ring buffers, per-stream window state)
+    1  drift, registry   (monitors; versioned chain)
+    2  engine            (micro-batching scorer)
+    3  adapt             (drift -> retrain -> promote controller)
+    4  replay            (harness + chaos injectors, drives adapt)
+    5  __init__          (facade)
+
 Only module-scope imports count.  Function-level imports are the
 sanctioned escape hatch for presentation-layer laziness and genuine
 back-references (e.g. ``pipeline.adapters`` loading ``core.persistence``
@@ -63,6 +74,18 @@ LAYERS: dict[str, int] = {
     # it; both sit above everything by construction.
     "__init__": 7,
     "__main__": 7,
+}
+
+# Intra-``repro.serve`` sublayers: same strictly-lower rule, applied to
+# the serving subsystem's own modules (see module docstring).
+SERVE_SUBLAYERS: dict[str, int] = {
+    "stream": 0,
+    "drift": 1,
+    "registry": 1,
+    "engine": 2,
+    "adapt": 3,
+    "replay": 4,
+    "__init__": 5,
 }
 
 
@@ -111,6 +134,40 @@ def _imported_packages(
             yield alias.name
 
 
+def _serve_submodules(
+    node: ast.Import | ast.ImportFrom, path: Path, package_root: Path
+):
+    """Yield the ``repro.serve`` submodule(s) an import node touches."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[:2] == ["repro", "serve"] and len(parts) > 2:
+                yield parts[2]
+        return
+    if node.level == 0:
+        parts = (node.module or "").split(".")
+        if parts[:2] != ["repro", "serve"]:
+            return
+        remainder = parts[2:]
+    else:
+        rel = path.relative_to(package_root)
+        base = list(rel.parts[:-1])
+        hops = node.level - 1
+        if hops > len(base):
+            return
+        base = base[: len(base) - hops] if hops else base
+        if base != ["serve"]:
+            return  # relative import reaching outside serve
+        remainder = (node.module or "").split(".") if node.module else []
+    if remainder:
+        yield remainder[0]
+    else:
+        # ``from repro.serve import x`` / ``from . import x`` inside
+        # serve — the names themselves are the submodules.
+        for alias in node.names:
+            yield alias.name
+
+
 def _module_scope_imports(tree: ast.Module, path: Path, package_root: Path):
     """(node, packages) for every import that runs at module load."""
     stack: list[ast.stmt] = list(tree.body)
@@ -145,6 +202,14 @@ def check(package_root: Path = PACKAGE_ROOT) -> list[str]:
                 f"map (scripts/check_layering.py)"
             )
             continue
+        source_sub = None
+        if source_pkg == "serve" and path.parent.name == "serve":
+            source_sub = SERVE_SUBLAYERS.get(path.stem)
+            if source_sub is None:
+                violations.append(
+                    f"{where}:1: serve module {path.stem!r} is not in the "
+                    f"serve sublayer map (scripts/check_layering.py)"
+                )
         tree = ast.parse(path.read_text(), filename=str(path))
         for node, targets in _module_scope_imports(tree, path, package_root):
             for target in targets:
@@ -163,6 +228,24 @@ def check(package_root: Path = PACKAGE_ROOT) -> list[str]:
                         f"{target_layer}) at module scope — only strictly "
                         f"lower layers are allowed; use a function-level "
                         f"import if the dependency is genuinely lazy"
+                    )
+            if source_sub is None:
+                continue
+            for target in _serve_submodules(node, path, package_root):
+                if target == path.stem:
+                    continue
+                target_sub = SERVE_SUBLAYERS.get(target)
+                if target_sub is None:
+                    violations.append(
+                        f"{where}:{node.lineno}: import of unknown serve "
+                        f"module repro.serve.{target}"
+                    )
+                elif target_sub >= source_sub:
+                    violations.append(
+                        f"{where}:{node.lineno}: serve.{path.stem} (sublayer "
+                        f"{source_sub}) imports repro.serve.{target} "
+                        f"(sublayer {target_sub}) at module scope — only "
+                        f"strictly lower serve sublayers are allowed"
                     )
     return violations
 

@@ -15,6 +15,10 @@ Commands
 ``serve-replay``  Replay an archive unit through the online serving
               engine (micro-batching, degradation chain, drift
               monitors) and report alerts, throughput, and latency.
+              ``--chaos level-shift --adapt`` runs the self-healing
+              drill: a mid-replay regime change, drift detection, a
+              guarded background retrain, shadow evaluation, and
+              auto-promotion (see ``docs/ADAPTIVE.md``).
 ``tune``      Grid-search TriAD hyper-parameters on a small archive.
 """
 
@@ -133,6 +137,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--fail-primary", type=int, default=None, metavar="N",
                          help="chaos drill: primary model fails after N "
                               "healthy batches, forcing the degradation chain")
+    p_serve.add_argument("--chaos", choices=["level-shift", "nan-retrain"],
+                         default=None,
+                         help="chaos drill: 'level-shift' re-baselines the "
+                              "feed mid-replay (pair with --adapt to watch "
+                              "the self-healing loop recover); 'nan-retrain' "
+                              "additionally poisons the retrainer so the "
+                              "shadow gate must reject the candidate")
+    p_serve.add_argument("--chaos-at", type=float, default=0.5,
+                         help="where the level shift lands, as a fraction "
+                              "of the test split (default 0.5)")
+    p_serve.add_argument("--chaos-delta", type=float, default=4.0,
+                         help="level-shift magnitude added to every point "
+                              "after the shift (default 4.0)")
+    p_serve.add_argument("--adapt", action="store_true",
+                         help="attach the adaptive controller: drift "
+                              "signals trigger guarded background retrains, "
+                              "shadow-evaluated and auto-promoted "
+                              "(docs/ADAPTIVE.md)")
+    p_serve.add_argument("--adapt-budget-s", type=float, default=30.0,
+                         help="wall-clock RunBudget per retrain attempt")
+    p_serve.add_argument("--adapt-journal", type=Path, default=None,
+                         help="append every adaptation decision to this "
+                              "JSONL audit trail")
     p_serve.add_argument("--load", type=Path, default=None,
                          help="load the primary from a saved detector npz "
                               "instead of training")
@@ -420,6 +447,26 @@ def _cmd_serve_replay(args) -> int:
     budget_s = (
         args.latency_budget_ms / 1e3 if args.latency_budget_ms is not None else None
     )
+    chaos = None
+    if args.chaos is not None:
+        from .serve import LevelShift
+
+        chaos = LevelShift(
+            at=int(len(dataset.test) * args.chaos_at), delta=args.chaos_delta
+        )
+        print(f"chaos: level shift of {chaos.delta:+g} at index {chaos.at}"
+              + (" + NaN-poisoned retrainer" if args.chaos == "nan-retrain" else ""))
+
+    primary = None
+    if detector is None and chaos is not None:
+        # The training-free scorers z-normalize each window, so a level
+        # shift is invisible to them; head the chain with the
+        # level-sensitive moment scorer so the drill actually degrades.
+        from .serve import MomentShiftScorer
+
+        primary = MomentShiftScorer(dataset.train)
+        print("primary: moment-shift (level-sensitive, for the drill)")
+
     session = obs.install() if args.metrics_out is not None else None
     try:
         registry = build_registry(
@@ -428,18 +475,87 @@ def _cmd_serve_replay(args) -> int:
             latency_budget=budget_s,
             fail_primary_after=args.fail_primary,
             train_series=dataset.train,
+            primary=primary,
         )
+        controller = None
+        drift = None
+        if args.adapt:
+            from .serve import (
+                AdaptConfig,
+                AdaptiveController,
+                DriftMonitor,
+                PeriodChangeMonitor,
+                ScoreShiftMonitor,
+                moment_trainer,
+                nan_poisoned,
+                triad_trainer,
+            )
+
+            # Size the score-shift monitor to the replay length: the
+            # production defaults (128-score reference) never freeze a
+            # reference on a short archive unit, so drift could never
+            # fire before the feed ends.
+            scores_expected = max(
+                (len(dataset.test) - plan.length) // plan.stride, 4
+            )
+            reference = int(np.clip(scores_expected // 6, 2, 128))
+            recent = int(np.clip(scores_expected // 8, 2, 64))
+            drift = DriftMonitor(
+                score_monitor=ScoreShiftMonitor(
+                    reference_size=reference,
+                    recent_size=recent,
+                    threshold_sigma=4.0,
+                    cooldown=max(2 * recent, 8),
+                    statistic="median",
+                ),
+                period_monitor=PeriodChangeMonitor(plan.period),
+            )
+            trainer = (
+                triad_trainer(config, window_length=plan.length)
+                if detector is not None
+                else moment_trainer()
+            )
+            if args.chaos == "nan-retrain":
+                trainer = nan_poisoned(trainer)
+            settle = max(recent * plan.stride, plan.length)
+            history = max(4 * plan.length, 2 * settle)
+            adapt_config = AdaptConfig(
+                history_points=history,
+                min_history=max(2 * plan.length, plan.length + plan.stride),
+                # Settling a full ring after the trigger guarantees the
+                # retrain sees only post-regime-change data, never a
+                # pre/post mixture that trains a washed-out candidate.
+                settle_points=history,
+                cooldown_points=2 * settle,
+                budget_seconds=args.adapt_budget_s,
+                probation_points=2 * settle,
+                seed=args.seed,
+            )
         engine = build_engine(
             registry,
             window_length=plan.length,
             stride=plan.stride,
             expected_period=plan.period,
+            drift=drift,
             max_batch=args.max_batch,
             queue_capacity=args.queue_capacity,
             latency_budget_s=budget_s,
             alert_sigma=args.sigma,
         )
-        report = replay_dataset(dataset, engine, streams=args.streams)
+        if args.adapt:
+            controller = AdaptiveController(
+                engine,
+                trainer,
+                config=adapt_config,
+                journal_path=args.adapt_journal,
+            )
+        report = replay_dataset(
+            dataset,
+            engine,
+            streams=args.streams,
+            controller=controller,
+            chaos=chaos,
+        )
         print()
         print(report.render())
         if args.json is not None:
@@ -447,6 +563,13 @@ def _cmd_serve_replay(args) -> int:
                 json_module.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
             )
             print(f"\nwrote replay report to {args.json}")
+        if args.adapt and args.adapt_journal is not None:
+            if controller.decisions:
+                print(f"wrote adaptation journal to {args.adapt_journal}")
+            else:
+                print("no adaptation decisions this replay; journal not written "
+                      "(drift may need more post-trigger points — try a longer "
+                      "replay or a smaller --max-window)")
         if session is not None:
             count = session.export_jsonl(args.metrics_out)
             print(f"wrote {count} observability record(s) to {args.metrics_out}")

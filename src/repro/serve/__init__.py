@@ -5,8 +5,11 @@ per-stream sliding-window state (:mod:`repro.serve.stream`), a
 versioned model registry with hot-swap and a graceful-degradation chain
 (:mod:`repro.serve.registry`), a micro-batching scoring engine with
 admission control (:mod:`repro.serve.engine`), online drift monitors
-(:mod:`repro.serve.drift`), and a labelled-replay harness
-(:mod:`repro.serve.replay`, surfaced as ``repro serve-replay``).
+(:mod:`repro.serve.drift`), a self-healing adaptive controller closing
+the drift -> retrain -> promote loop (:mod:`repro.serve.adapt`, see
+``docs/ADAPTIVE.md``), and a labelled-replay harness with chaos
+injectors (:mod:`repro.serve.replay`, surfaced as ``repro
+serve-replay``).
 
 Quick start::
 
@@ -23,6 +26,18 @@ Quick start::
 See ``docs/SERVING.md`` for the architecture and semantics.
 """
 
+from .adapt import (
+    AdaptConfig,
+    AdaptationDecision,
+    AdaptationJournal,
+    AdaptiveController,
+    MomentShiftScorer,
+    ShadowReport,
+    moment_trainer,
+    nan_poisoned,
+    shadow_evaluate,
+    triad_trainer,
+)
 from .drift import DriftMonitor, DriftSignal, PeriodChangeMonitor, ScoreShiftMonitor
 from .engine import EngineConfig, ScoringEngine, StreamAlert
 from .registry import (
@@ -34,10 +49,28 @@ from .registry import (
     TriADWindowScorer,
     WindowScorer,
 )
-from .replay import FailAfter, ReplayReport, build_engine, build_registry, replay_dataset
+from .replay import (
+    FailAfter,
+    LevelShift,
+    ReplayReport,
+    build_engine,
+    build_registry,
+    replay_dataset,
+)
 from .stream import ReadyWindow, RingBuffer, StreamState
 
 __all__ = [
+    "AdaptConfig",
+    "AdaptationDecision",
+    "AdaptationJournal",
+    "AdaptiveController",
+    "MomentShiftScorer",
+    "ShadowReport",
+    "moment_trainer",
+    "nan_poisoned",
+    "shadow_evaluate",
+    "triad_trainer",
+    "LevelShift",
     "RingBuffer",
     "ReadyWindow",
     "StreamState",

@@ -60,7 +60,14 @@ class DriftSignal:
 
 
 class ScoreShiftMonitor:
-    """Per-stream score-distribution shift against a frozen reference."""
+    """Per-stream score-distribution shift against a frozen reference.
+
+    ``statistic`` selects how the recent window is summarized:
+    ``"mean"`` (default, most sensitive) or ``"median"`` — robust to a
+    short transient anomaly spiking a few scores, so only *sustained*
+    regime changes signal.  The adaptive controller's drill uses the
+    median: a genuine anomaly should alert, not trigger a retrain.
+    """
 
     def __init__(
         self,
@@ -68,13 +75,17 @@ class ScoreShiftMonitor:
         recent_size: int = 64,
         threshold_sigma: float = 3.0,
         cooldown: int = 256,
+        statistic: str = "mean",
     ) -> None:
         if reference_size < 2 or recent_size < 2:
             raise ValueError("reference_size and recent_size must be >= 2")
+        if statistic not in ("mean", "median"):
+            raise ValueError("statistic must be 'mean' or 'median'")
         self.reference_size = reference_size
         self.recent_size = recent_size
         self.threshold_sigma = threshold_sigma
         self.cooldown = cooldown
+        self.statistic = statistic
         self._reference: dict[str, list[float]] = {}
         self._frozen: dict[str, tuple[float, float]] = {}  # mean, std
         self._recent: dict[str, RingBuffer] = {}
@@ -105,7 +116,11 @@ class ScoreShiftMonitor:
         if seen < self._quiet_until.get(stream_id, 0):
             return None
         mean, std = frozen
-        shift = abs(recent.mean - mean) / std
+        if self.statistic == "median":
+            recent_stat = float(np.median(recent.view()))
+        else:
+            recent_stat = recent.mean
+        shift = abs(recent_stat - mean) / std
         if shift <= self.threshold_sigma:
             return None
         self._quiet_until[stream_id] = seen + self.cooldown
@@ -182,6 +197,13 @@ class PeriodChangeMonitor:
             threshold=self.tolerance,
         )
 
+    def reset(self, stream_id: str) -> None:
+        """Forget the stream's point ring (call after retraining): the
+        next check re-estimates from post-retrain data only, instead of
+        a stale pre-retrain window immediately re-signalling."""
+        self._buffers.pop(stream_id, None)
+        self._quiet.pop(stream_id, None)
+
 
 class DriftMonitor:
     """Facade the engine drives: scores and raw points in, signals out.
@@ -199,7 +221,10 @@ class DriftMonitor:
         self.score_monitor = score_monitor
         self.period_monitor = period_monitor
         self.signals: list[DriftSignal] = []
-        self._flagged: set[str] = set()
+        # The live flag set; mutated in place, never rebound, so the
+        # adaptive controller can cache a reference for its per-point
+        # hot path.  Treat as read-only outside this class.
+        self.flagged_streams: set[str] = set()
 
     def observe_score(self, stream_id: str, score: float, at_index: int) -> None:
         if self.score_monitor is None:
@@ -217,7 +242,7 @@ class DriftMonitor:
 
     def _emit(self, signal: DriftSignal) -> None:
         self.signals.append(signal)
-        self._flagged.add(signal.stream_id)
+        self.flagged_streams.add(signal.stream_id)
         obs.incr(f"serve.drift.{signal.kind}")
         obs.event(
             "serve.drift",
@@ -232,10 +257,27 @@ class DriftMonitor:
             self.score_monitor.reset_all()
 
     def retrain_recommended(self, stream_id: str) -> bool:
-        return stream_id in self._flagged
+        return stream_id in self.flagged_streams
+
+    @property
+    def flagged(self) -> set[str]:
+        """Streams currently recommended for retraining (a copy)."""
+        return set(self.flagged_streams)
+
+    def last_signal(self, stream_id: str) -> DriftSignal | None:
+        """The most recent signal this stream emitted, if any."""
+        for signal in reversed(self.signals):
+            if signal.stream_id == stream_id:
+                return signal
+        return None
 
     def acknowledge(self, stream_id: str) -> None:
-        """Clear the retrain flag (the operator acted on it)."""
-        self._flagged.discard(stream_id)
+        """Clear the retrain flag (the operator or the adaptive
+        controller acted on it) *and* reset both underlying monitors'
+        per-stream references — a stale reference window would otherwise
+        immediately re-trigger and start a retrain storm."""
+        self.flagged_streams.discard(stream_id)
         if self.score_monitor is not None:
             self.score_monitor.reset(stream_id)
+        if self.period_monitor is not None:
+            self.period_monitor.reset(stream_id)

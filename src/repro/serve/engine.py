@@ -253,6 +253,21 @@ class ScoringEngine:
             alerts.extend(self.flush())
         return alerts
 
+    def reset_alert_baselines(self, stream_id: str | None = None) -> None:
+        """Drop per-stream alert baselines so they re-seed from the
+        active scorer's calibration on the next scored window.
+
+        The engine already does this automatically when a flush observes
+        a model change; the adaptive controller calls it explicitly at
+        promotion/rollback time so windows queued *before* the swap are
+        judged on the new model's scale too, not against a baseline the
+        old model calibrated.
+        """
+        if stream_id is None:
+            self._baselines.clear()
+        else:
+            self._baselines.pop(stream_id, None)
+
     def _adapt_batch_limit(self, elapsed: float) -> None:
         budget = self.config.latency_budget_s
         if budget is None:

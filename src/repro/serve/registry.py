@@ -287,6 +287,19 @@ class ModelRegistry:
         entry.failures = 0
         return entry
 
+    def reset_chain(self) -> None:
+        """Re-arm every entry on the degradation chain.  Called after a
+        promotion: the freshly promoted primary is healthy again, so
+        fallbacks tripped while it was degraded get a clean slate too."""
+        for name in self._chain:
+            self.reset(name)
+
+    def active_version(self, name: str) -> int:
+        """The currently promoted version of ``name`` (for rollback)."""
+        if name not in self._active:
+            raise KeyError(f"no registered model named {name!r}")
+        return self._active[name]
+
     def _entry(self, name: str, version: int) -> ModelEntry:
         try:
             return self._versions[name][version]

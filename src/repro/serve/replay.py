@@ -18,6 +18,7 @@ import numpy as np
 
 from ..data.spec import Dataset
 from ..runtime import RetryPolicy
+from .adapt import AdaptiveController
 from .drift import DriftMonitor, PeriodChangeMonitor, ScoreShiftMonitor
 from .engine import EngineConfig, ScoringEngine, StreamAlert
 from .registry import (
@@ -30,6 +31,7 @@ from .registry import (
 
 __all__ = [
     "FailAfter",
+    "LevelShift",
     "ReplayReport",
     "build_registry",
     "build_engine",
@@ -62,6 +64,24 @@ class FailAfter(WindowScorer):
         return self.scorer.calibration_scores(length, stride)
 
 
+@dataclass(frozen=True)
+class LevelShift:
+    """Chaos injector: a level-shift regime change mid-replay.
+
+    Every replayed point from series index ``at`` onward gets ``delta``
+    added — the canonical "the plant re-baselined overnight" drift.  A
+    model calibrated on the old level degrades permanently (unlike a
+    spike, the shift never reverts), which is exactly the scenario the
+    ``serve.adapt`` drill must recover from without an operator.
+    """
+
+    at: int
+    delta: float
+
+    def apply(self, index: int, value: float) -> float:
+        return value + self.delta if index >= self.at else value
+
+
 def build_registry(
     detector=None,
     policy: RetryPolicy | None = None,
@@ -69,27 +89,33 @@ def build_registry(
     fail_primary_after: int | None = None,
     discord_length: int = 16,
     train_series=None,
+    primary: WindowScorer | None = None,
 ) -> ModelRegistry:
     """The standard degradation chain, optionally headed by a fitted TriAD.
 
     With ``detector`` the chain is
     ``triad-encoder -> spectral-residual -> streaming-discord``;
-    without it the two training-free scorers stand alone.
+    without it the two training-free scorers stand alone.  An explicit
+    ``primary`` scorer overrides both (the adaptive level-shift drill
+    heads the chain with the level-sensitive
+    :class:`~repro.serve.adapt.MomentShiftScorer`).
     ``fail_primary_after`` wraps the primary in :class:`FailAfter` for
     failover drills.  ``train_series`` (normal data) lets the
     training-free scorers pre-compute calibration score distributions so
     engine alert baselines are seeded instead of cold-started.
     """
     registry = ModelRegistry(policy=policy)
-    primary: WindowScorer = (
-        TriADWindowScorer(detector)
-        if detector is not None
-        else SpectralResidualWindowScorer(calibration_series=train_series)
-    )
+    explicit_primary = primary is not None
+    if primary is None:
+        primary = (
+            TriADWindowScorer(detector)
+            if detector is not None
+            else SpectralResidualWindowScorer(calibration_series=train_series)
+        )
     if fail_primary_after is not None:
         primary = FailAfter(primary, fail_primary_after)
     registry.register(primary, latency_budget=latency_budget, max_failures=1)
-    if detector is not None:
+    if detector is not None or (explicit_primary and primary.name != "spectral-residual"):
         registry.register(SpectralResidualWindowScorer(calibration_series=train_series))
     registry.register(
         DiscordWindowScorer(
@@ -105,11 +131,16 @@ def build_engine(
     stride: int,
     expected_period: int | None = None,
     monitor_drift: bool = True,
+    drift: DriftMonitor | None = None,
     **config_overrides,
 ) -> ScoringEngine:
-    """Engine wired with the default drift monitors."""
-    drift = None
-    if monitor_drift:
+    """Engine wired with the default drift monitors.
+
+    Pass an explicit ``drift`` monitor to override the defaults — short
+    replays need smaller score-shift reference/recent windows than the
+    production defaults or drift can never fire before the feed ends.
+    """
+    if drift is None and monitor_drift:
         drift = DriftMonitor(
             score_monitor=ScoreShiftMonitor(),
             period_monitor=(
@@ -134,6 +165,8 @@ class ReplayReport:
     anomaly_interval: tuple[int, int] | None = None
     window_length: int = 0
     engine_report: dict = field(default_factory=dict)
+    adaptation: list[dict] = field(default_factory=list)
+    chaos: str | None = None
 
     @property
     def throughput_pps(self) -> float:
@@ -174,6 +207,8 @@ class ReplayReport:
             "anomaly_interval": self.anomaly_interval,
             "detected": self.detected,
             "engine": self.engine_report,
+            "adaptation": self.adaptation,
+            "chaos": self.chaos,
         }
 
     def render(self) -> str:
@@ -236,6 +271,24 @@ class ReplayReport:
                     f"  {signal['stream_id']}: {signal['kind']} at "
                     f"{signal['at_index']} (value {signal['value']:.2f})"
                 )
+        if self.chaos:
+            lines.append(f"chaos          : {self.chaos}")
+        if self.adaptation:
+            lines.append(f"adaptation     : {len(self.adaptation)} decision(s)")
+            for decision in self.adaptation:
+                trigger = decision.get("trigger") or {}
+                shadow = decision.get("shadow") or {}
+                detail = ""
+                if trigger:
+                    detail += f" on {trigger.get('kind')}@{trigger.get('at_index')}"
+                if decision["action"] == "promoted":
+                    detail += f" -> {decision.get('candidate')}"
+                if shadow:
+                    detail += f" [{shadow.get('mode')} gate]"
+                lines.append(
+                    f"  {decision['stream_id']} @ {decision['at_index']}: "
+                    f"{decision['action'].upper()}{detail} — {decision['reason']}"
+                )
         return "\n".join(lines)
 
 
@@ -244,6 +297,8 @@ def replay_dataset(
     engine: ScoringEngine,
     streams: int = 1,
     clock=time.perf_counter,
+    controller: AdaptiveController | None = None,
+    chaos: LevelShift | None = None,
 ) -> ReplayReport:
     """Replay ``dataset.test`` through ``engine`` as concurrent streams.
 
@@ -251,16 +306,34 @@ def replay_dataset(
     ``streams`` distinct stream ids — points interleave exactly as a
     multi-tenant feed would, so ready windows from different streams
     land in the same micro-batches.
+
+    A ``controller`` routes ingestion through the adaptive retrain loop
+    (its label oracle is wired from ``dataset.labels`` unless already
+    set, enabling the labeled shadow gate); ``chaos`` mutates the feed
+    (e.g. :class:`LevelShift`) to drill that loop.
     """
     if streams < 1:
         raise ValueError("streams must be >= 1")
     series = np.asarray(dataset.test, dtype=np.float64)
     ids = [f"{dataset.name}#{i}" for i in range(streams)]
+    if controller is not None and controller.label_oracle is None:
+        labels = np.asarray(dataset.labels, dtype=np.int64)
+
+        def oracle(stream_id: str, start: int, end: int):
+            # Stream positions equal test-split indices in a replay.
+            if start < 0 or end > len(labels):
+                return None
+            return labels[start:end]
+
+        controller.label_oracle = oracle
+    feed = controller.ingest if controller is not None else engine.ingest
     alerts: list[StreamAlert] = []
     start = clock()
-    for value in series:
+    for index, value in enumerate(series):
+        if chaos is not None:
+            value = chaos.apply(index, float(value))
         for stream_id in ids:
-            alerts.extend(engine.ingest(stream_id, float(value)))
+            alerts.extend(feed(stream_id, float(value)))
     alerts.extend(engine.drain())
     duration = clock() - start
 
@@ -277,4 +350,10 @@ def replay_dataset(
         anomaly_interval=interval,
         window_length=engine.config.window_length,
         engine_report=engine.report(),
+        adaptation=controller.timeline() if controller is not None else [],
+        chaos=(
+            f"level-shift delta={chaos.delta:+g} at {chaos.at}"
+            if chaos is not None
+            else None
+        ),
     )

@@ -141,3 +141,97 @@ class TestDriftMonitorFacade:
             monitor.observe_score("s", float(value), i)
         assert monitor.signals
         json.dumps([s.as_dict() for s in monitor.signals])
+
+
+class TestMedianStatistic:
+    def test_transient_spike_moves_mean_but_not_median(self, rng):
+        """A short anomaly burst must alert, not trigger a retrain."""
+        normal = rng.normal(size=64) * 0.1 + 1.0
+        burst = np.concatenate(
+            [normal, rng.normal(size=6) * 0.1 + 8.0, normal]
+        )
+        kwargs = dict(reference_size=32, recent_size=16, threshold_sigma=4.0)
+        mean_monitor = ScoreShiftMonitor(statistic="mean", **kwargs)
+        median_monitor = ScoreShiftMonitor(statistic="median", **kwargs)
+        assert feed_scores(mean_monitor, "s", burst), (
+            "control failed: the burst should move the recent mean"
+        )
+        assert feed_scores(median_monitor, "s", burst) == []
+
+    def test_sustained_shift_still_signals_on_median(self, rng):
+        monitor = ScoreShiftMonitor(
+            reference_size=32, recent_size=16, threshold_sigma=4.0,
+            statistic="median",
+        )
+        normal = rng.normal(size=40) * 0.1 + 1.0
+        shifted = rng.normal(size=60) * 0.1 + 4.0
+        signals = feed_scores(monitor, "s", np.concatenate([normal, shifted]))
+        assert signals and signals[0].kind == "score_shift"
+
+    def test_unknown_statistic_rejected(self):
+        with pytest.raises(ValueError, match="statistic"):
+            ScoreShiftMonitor(statistic="mode")
+
+
+class TestAcknowledge:
+    def test_acknowledge_resets_both_monitors(self):
+        """Satellite: acknowledge() must clear per-stream references in
+        the score AND period monitors, or the stale windows immediately
+        re-signal and start a retrain storm."""
+        score_monitor = ScoreShiftMonitor(reference_size=8, recent_size=4)
+        period_monitor = PeriodChangeMonitor(
+            expected_period=20, buffer_size=80, check_every=40
+        )
+        monitor = DriftMonitor(
+            score_monitor=score_monitor, period_monitor=period_monitor
+        )
+        t = np.arange(200)
+        for i, value in enumerate(np.sin(2 * np.pi * t / 40)):
+            monitor.observe_point("s", float(value), i)
+        for i, value in enumerate(np.concatenate([np.ones(10), np.full(10, 5.0)])):
+            monitor.observe_score("s", float(value), i)
+        assert monitor.retrain_recommended("s")
+        assert "s" in period_monitor._buffers
+
+        monitor.acknowledge("s")
+        assert not monitor.retrain_recommended("s")
+        assert "s" not in period_monitor._buffers
+        assert "s" not in score_monitor._frozen
+
+    def test_no_retrain_storm_after_acknowledge(self, rng):
+        """After acknowledge, continued post-shift scores re-bank the
+        reference at the new level instead of immediately re-flagging."""
+        monitor = DriftMonitor(
+            score_monitor=ScoreShiftMonitor(reference_size=16, recent_size=8)
+        )
+        normal = rng.normal(size=20) * 0.1 + 1.0
+        shifted = rng.normal(size=120) * 0.1 + 5.0
+        index = 0
+        for value in np.concatenate([normal, shifted[:20]]):
+            monitor.observe_score("s", float(value), index)
+            index += 1
+        assert monitor.retrain_recommended("s")
+        monitor.acknowledge("s")
+        before = len(monitor.signals)
+        for value in shifted[20:]:
+            monitor.observe_score("s", float(value), index)
+            index += 1
+        assert len(monitor.signals) == before
+        assert not monitor.retrain_recommended("s")
+
+    def test_last_signal_returns_most_recent_for_stream(self, rng):
+        monitor = DriftMonitor(
+            score_monitor=ScoreShiftMonitor(
+                reference_size=16, recent_size=8, cooldown=16
+            )
+        )
+        feed = np.concatenate(
+            [rng.normal(size=20) * 0.1 + 1.0, rng.normal(size=80) * 0.1 + 5.0]
+        )
+        for i, value in enumerate(feed):
+            monitor.observe_score("s", float(value), i)
+        assert monitor.last_signal("other") is None
+        last = monitor.last_signal("s")
+        assert last is not None
+        assert last.at_index == max(s.at_index for s in monitor.signals)
+        assert monitor.flagged == {"s"}

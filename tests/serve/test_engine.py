@@ -209,3 +209,96 @@ class TestReport:
         assert report["windows_scored"] > 0
         assert report["latency_ms"]["p50"] >= 0.0
         assert report["chain"][0]["model"] == "recorder@v1"
+
+
+class ScaledScorer(WindowScorer):
+    """|max| of each window times a scale; calibration on the same scale."""
+
+    def __init__(self, name, scale, calibration):
+        self.name = name
+        self.scale = scale
+        self._calibration = calibration
+
+    def score_windows(self, windows, batch):
+        return np.abs(np.asarray(windows)).max(axis=1) * self.scale
+
+    def calibration_scores(self, length, stride):
+        return self._calibration
+
+
+class TestPromotionCalibration:
+    """Satellite: promote() mid-batch must not leak old calibration.
+
+    v1 scores on a ~0.3 scale, v2 on a x100 scale.  Windows queued
+    before the hot-swap are scored by v2 after it — judging them
+    against a baseline banked on v1's scale would alert on all of
+    them (or, after a rollback, never alert again).
+    """
+
+    def make(self, rng):
+        calibration = rng.normal(size=256) * 0.05 + 0.35
+        v1 = ScaledScorer("m", 1.0, calibration)
+        v2 = ScaledScorer("m", 100.0, calibration * 100.0)
+        registry = ModelRegistry()
+        registry.register(v1)
+        engine = ScoringEngine(
+            registry,
+            EngineConfig(
+                window_length=16,
+                stride=4,
+                max_batch=8,
+                warmup_scores=4,
+                alert_sigma=6.0,
+            ),
+        )
+        return engine, registry, v2
+
+    def test_mid_batch_promotion_judges_queued_windows_on_new_scale(self, rng):
+        engine, registry, v2 = self.make(rng)
+        quiet = rng.normal(size=200) * 0.1
+        alerts = []
+        for value in quiet:
+            alerts.extend(engine.ingest("s", float(value)))
+        alerts.extend(engine.drain())
+        assert alerts == []
+
+        # Queue a few windows, then hot-swap before they are scored.
+        for value in rng.normal(size=12) * 0.1:
+            alerts.extend(engine.ingest("s", float(value)))
+        assert engine.queue_depth > 0
+        entry = registry.register(v2, name="m")
+        registry.promote("m", entry.version)
+        engine.reset_alert_baselines()
+        alerts.extend(engine.drain())
+        assert alerts == [], "old calibration leaked into the new model's scale"
+
+        # The re-seeded baseline still catches real anomalies, at v2 scale.
+        spike_alerts = []
+        for value in np.full(20, 5.0):
+            spike_alerts.extend(engine.ingest("s", float(value)))
+        spike_alerts.extend(engine.drain())
+        assert spike_alerts
+        assert all(a.model == "m@v2" for a in spike_alerts)
+        assert all(a.threshold > 10.0 for a in spike_alerts)
+
+    def test_rollback_re_seeds_v1_scale(self, rng):
+        engine, registry, v2 = self.make(rng)
+        entry = registry.register(v2, name="m")
+        registry.promote("m", entry.version)
+        quiet = rng.normal(size=200) * 0.1
+        alerts = []
+        for value in quiet:
+            alerts.extend(engine.ingest("s", float(value)))
+        alerts.extend(engine.drain())
+        assert alerts == []
+
+        # Roll back to v1 mid-stream: baselines banked at x100 would
+        # swallow every v1-scale anomaly without a reset.
+        registry.promote("m", 1)
+        engine.reset_alert_baselines()
+        spike_alerts = []
+        for value in np.full(24, 5.0):
+            spike_alerts.extend(engine.ingest("s", float(value)))
+        spike_alerts.extend(engine.drain())
+        assert spike_alerts
+        assert all(a.model == "m@v1" for a in spike_alerts)

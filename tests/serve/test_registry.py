@@ -251,3 +251,32 @@ class TestBuiltinScorers:
         # Block maxima over the raw distance stream.
         raw = scorer._calibration_distances
         assert calibration.max() == pytest.approx(raw[: len(calibration) * 25].max())
+
+
+class TestChainReset:
+    def test_reset_chain_rearms_every_tripped_entry(self):
+        registry = ModelRegistry()
+        first = ConstantScorer("first", fail=True)
+        second = ConstantScorer("second", fail=True)
+        registry.register(first, max_failures=1)
+        registry.register(second, max_failures=1)
+        registry.register(ConstantScorer("last", value=3.0))
+        windows, batch = windows_batch()
+        _, used = registry.score(windows, batch)
+        assert used.name == "last"
+        assert all(entry["tripped"] for entry in registry.describe()[:2])
+
+        first.fail = second.fail = False
+        registry.reset_chain()
+        assert not any(entry["tripped"] for entry in registry.describe())
+        _, used = registry.score(windows, batch)
+        assert used.name == "first"
+
+    def test_active_version_tracks_promotion(self):
+        registry = ModelRegistry()
+        registry.register(ConstantScorer("m", value=1.0))
+        assert registry.active_version("m") == 1
+        entry = registry.register(ConstantScorer("m", value=2.0), name="m")
+        assert registry.active_version("m") == 1  # not yet promoted
+        registry.promote("m", entry.version)
+        assert registry.active_version("m") == 2
