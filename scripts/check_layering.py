@@ -32,8 +32,12 @@ the serving subsystem itself a DAG now that the adaptive controller
     4  replay            (harness + chaos injectors, drives adapt)
     5  __init__          (facade)
 
-Only module-scope imports count.  Function-level imports are the
-sanctioned escape hatch for presentation-layer laziness and genuine
+Packages listed in ``IMPORT_LEAF`` (currently ``nn``) face a stricter
+rule: no ``repro.*`` import at *any* scope — the lazy-import escape
+hatch below does not apply to them.
+
+Only module-scope imports count for the layer maps.  Function-level
+imports are the sanctioned escape hatch for presentation-layer laziness and genuine
 back-references (e.g. ``pipeline.adapters`` loading ``core.persistence``
 inside ``from_file``); ``if TYPE_CHECKING:`` blocks are typing-only and
 exempt.
@@ -75,6 +79,14 @@ LAYERS: dict[str, int] = {
     "__init__": 7,
     "__main__": 7,
 }
+
+# Packages that must stay *import-leaves*: no ``repro.*`` import at ANY
+# scope, function-level included.  ``repro.nn`` is the kernel layer —
+# the layer rule above already blocks module-scope imports, but a lazy
+# function-level import would silently couple the hot training loops
+# (and every worker process the data-parallel trainer forks) to the
+# rest of the tree, so leaves get the stricter whole-file check.
+IMPORT_LEAF = {"nn"}
 
 # Intra-``repro.serve`` sublayers: same strictly-lower rule, applied to
 # the serving subsystem's own modules (see module docstring).
@@ -211,6 +223,20 @@ def check(package_root: Path = PACKAGE_ROOT) -> list[str]:
                     f"serve sublayer map (scripts/check_layering.py)"
                 )
         tree = ast.parse(path.read_text(), filename=str(path))
+        if source_pkg in IMPORT_LEAF:
+            for node in ast.walk(tree):
+                if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                    continue
+                for target in _imported_packages(node, path, package_root):
+                    if target == source_pkg:
+                        continue
+                    violations.append(
+                        f"{where}:{node.lineno}: {source_pkg} is an "
+                        f"import-leaf but imports repro.{target} — leaf "
+                        f"packages may not import the rest of repro at "
+                        f"any scope"
+                    )
+            continue
         for node, targets in _module_scope_imports(tree, path, package_root):
             for target in targets:
                 if target == source_pkg:

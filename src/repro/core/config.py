@@ -43,6 +43,13 @@ class TriADConfig:
     train_stride:
         Stride used when scanning the training series during
         single-window selection (paper analyzes the worst case of 1).
+    data_parallel_workers:
+        When > 1, the trainer evaluates that many contrastive batches
+        concurrently in a ``multiprocessing.Pool`` and applies their
+        averaged gradients as one optimizer step.  Off (0) by default;
+        the parallel schedule is *not* bit-identical to the serial loop
+        (fewer, larger effective steps and a different augmentation rng
+        stream).
     """
 
     depth: int = 6
@@ -71,8 +78,11 @@ class TriADConfig:
     merlin_step: int | None = None
     merlin_padding: int | None = None
     train_stride: int | None = None
+    data_parallel_workers: int = 0
 
     def __post_init__(self) -> None:
+        if self.data_parallel_workers < 0:
+            raise ValueError("data_parallel_workers must be >= 0")
         if not 0.0 <= self.alpha <= 1.0:
             raise ValueError("alpha must be in [0, 1]")
         if self.depth < 1:

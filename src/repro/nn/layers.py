@@ -132,10 +132,15 @@ class BatchNorm1d(Module):
             mean = x.mean(axis=(0, 2), keepdims=True)
             var = x.var(axis=(0, 2), keepdims=True)
             m = self.momentum
+            # The running buffer tracks the *unbiased* variance estimate
+            # (ddof=1), while the batch normalization itself stays biased
+            # (ddof=0) — matching the standard BatchNorm convention.
+            count = x.shape[0] * x.shape[2]
+            correction = count / (count - 1) if count > 1 else 1.0
             self._buffer_running_mean *= 1 - m
             self._buffer_running_mean += m * mean.data.reshape(-1)
             self._buffer_running_var *= 1 - m
-            self._buffer_running_var += m * var.data.reshape(-1)
+            self._buffer_running_var += m * correction * var.data.reshape(-1)
         else:
             mean = Tensor(self._buffer_running_mean.reshape(1, -1, 1))
             var = Tensor(self._buffer_running_var.reshape(1, -1, 1))

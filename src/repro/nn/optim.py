@@ -1,14 +1,66 @@
-"""Gradient-descent optimizers: SGD (with momentum) and Adam."""
+"""Gradient-descent optimizers: SGD (with momentum), Adam, AdamW, RMSProp.
+
+Every optimizer ships two step implementations behind the one
+``Optimizer.step()`` contract:
+
+- **fused** (default) — a single in-place pass per parameter over
+  preallocated moment and scratch buffers.  No per-step temporaries
+  (``grad + wd * param``, ``m / bias1``, ``grad ** 2`` …) are
+  allocated, which matters when the step runs once per contrastive
+  batch inside the trainer's hot loop.  The fused sequence performs the
+  *same floating-point operations in the same order* as the reference,
+  so updates are bit-identical (pinned by ``tests/nn/test_optim_fused``
+  and the ``BENCH_nn.json`` gate).
+- **reference** — the original allocation-per-step implementation, kept
+  verbatim as the equivalence oracle; selected via
+  :func:`set_fused_optimizers` / :func:`fused_optimizers`.
+"""
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterable
 
 import numpy as np
 
 from .module import Parameter
 
-__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "RMSProp", "clip_grad_norm"]
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "RMSProp",
+    "clip_grad_norm",
+    "fused_optimizers",
+    "fused_enabled",
+    "set_fused_optimizers",
+]
+
+_FUSED_ENABLED = True
+
+
+def set_fused_optimizers(enabled: bool) -> bool:
+    """Toggle the fused step implementations; returns the previous value."""
+    global _FUSED_ENABLED
+    previous = _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+    return previous
+
+
+def fused_enabled() -> bool:
+    """Return whether optimizer steps use the fused in-place path."""
+    return _FUSED_ENABLED
+
+
+@contextlib.contextmanager
+def fused_optimizers(enabled: bool):
+    """Context manager pinning the fused/reference step selection."""
+    previous = set_fused_optimizers(enabled)
+    try:
+        yield
+    finally:
+        set_fused_optimizers(previous)
 
 
 class Optimizer:
@@ -42,8 +94,31 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch: list[np.ndarray] | None = None
 
     def step(self) -> None:
+        if not _FUSED_ENABLED:
+            return self._step_reference()
+        if self._scratch is None:
+            self._scratch = [np.empty_like(p.data) for p in self.parameters]
+        for param, velocity, scratch in zip(
+            self.parameters, self._velocity, self._scratch
+        ):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                np.multiply(param.data, self.weight_decay, out=scratch)
+                np.add(grad, scratch, out=scratch)
+                grad = scratch
+            if self.momentum:
+                np.multiply(velocity, self.momentum, out=velocity)
+                np.add(velocity, grad, out=velocity)
+                grad = velocity
+            np.multiply(grad, self.lr, out=scratch)
+            np.subtract(param.data, scratch, out=param.data)
+
+    def _step_reference(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
             if param.grad is None:
                 continue
@@ -76,8 +151,51 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch: list[tuple[np.ndarray, np.ndarray]] | None = None
+
+    def _ensure_scratch(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        if self._scratch is None:
+            self._scratch = [
+                (np.empty_like(p.data), np.empty_like(p.data))
+                for p in self.parameters
+            ]
+        return self._scratch
 
     def step(self) -> None:
+        if not _FUSED_ENABLED:
+            return self._step_reference()
+        scratch = self._ensure_scratch()
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param, m, v, (s1, s2) in zip(
+            self.parameters, self._m, self._v, scratch
+        ):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                np.multiply(param.data, self.weight_decay, out=s2)
+                np.add(grad, s2, out=s2)
+                grad = s2
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1.0 - self.beta1, out=s1)
+            np.add(m, s1, out=m)
+            np.multiply(grad, grad, out=s1)
+            np.multiply(s1, 1.0 - self.beta2, out=s1)
+            np.multiply(v, self.beta2, out=v)
+            np.add(v, s1, out=v)
+            # param -= (lr * m_hat) / (sqrt(v_hat) + eps), rounded exactly
+            # like the reference expression.
+            np.divide(m, bias1, out=s1)
+            np.multiply(s1, self.lr, out=s1)
+            np.divide(v, bias2, out=s2)
+            np.sqrt(s2, out=s2)
+            np.add(s2, self.eps, out=s2)
+            np.divide(s1, s2, out=s1)
+            np.subtract(param.data, s1, out=param.data)
+
+    def _step_reference(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
@@ -116,10 +234,20 @@ class AdamW(Adam):
         self.decoupled_weight_decay = weight_decay
 
     def step(self) -> None:
+        if not _FUSED_ENABLED:
+            if self.decoupled_weight_decay:
+                for param in self.parameters:
+                    if param.grad is not None:
+                        param.data -= (
+                            self.lr * self.decoupled_weight_decay * param.data
+                        )
+            return super().step()
         if self.decoupled_weight_decay:
-            for param in self.parameters:
+            decay = self.lr * self.decoupled_weight_decay
+            for param, (s1, _) in zip(self.parameters, self._ensure_scratch()):
                 if param.grad is not None:
-                    param.data -= self.lr * self.decoupled_weight_decay * param.data
+                    np.multiply(param.data, decay, out=s1)
+                    np.subtract(param.data, s1, out=param.data)
         super().step()
 
 
@@ -138,8 +266,33 @@ class RMSProp(Optimizer):
         self.alpha = alpha
         self.eps = eps
         self._square_avg = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch: list[tuple[np.ndarray, np.ndarray]] | None = None
 
     def step(self) -> None:
+        if not _FUSED_ENABLED:
+            return self._step_reference()
+        if self._scratch is None:
+            self._scratch = [
+                (np.empty_like(p.data), np.empty_like(p.data))
+                for p in self.parameters
+            ]
+        for param, square_avg, (s1, s2) in zip(
+            self.parameters, self._square_avg, self._scratch
+        ):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            np.multiply(square_avg, self.alpha, out=square_avg)
+            np.multiply(grad, grad, out=s1)
+            np.multiply(s1, 1.0 - self.alpha, out=s1)
+            np.add(square_avg, s1, out=square_avg)
+            np.multiply(grad, self.lr, out=s2)
+            np.sqrt(square_avg, out=s1)
+            np.add(s1, self.eps, out=s1)
+            np.divide(s2, s1, out=s2)
+            np.subtract(param.data, s2, out=param.data)
+
+    def _step_reference(self) -> None:
         for param, square_avg in zip(self.parameters, self._square_avg):
             if param.grad is None:
                 continue

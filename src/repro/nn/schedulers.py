@@ -10,21 +10,40 @@ __all__ = ["StepLR", "CosineAnnealingLR", "ExponentialLR", "EarlyStopping"]
 
 
 class _Scheduler:
-    """Base scheduler: stores the initial lr and steps the optimizer."""
+    """Base scheduler: stores the initial lr and steps the optimizer.
+
+    If something else changes ``optimizer.lr`` between steps — the
+    trainer's divergence guard backs off the lr after a rollback — the
+    scheduler *re-bases* instead of clobbering the external change: the
+    schedule is rescaled by the same factor, so subsequent steps continue
+    the decay from the reduced level.
+    """
 
     def __init__(self, optimizer: Optimizer) -> None:
         self.optimizer = optimizer
         self.base_lr = optimizer.lr
         self.epoch = 0
+        self._last_lr = optimizer.lr
 
     def get_lr(self) -> float:
         raise NotImplementedError
 
+    def _rebase(self, scale: float) -> None:
+        """Rescale the schedule after an external lr change."""
+        self.base_lr *= scale
+
     def step(self) -> float:
         """Advance one epoch; returns (and applies) the new lr."""
+        current = self.optimizer.lr
+        if current != self._last_lr:
+            if self._last_lr:
+                self._rebase(current / self._last_lr)
+            else:
+                self.base_lr = current
         self.epoch += 1
         lr = self.get_lr()
         self.optimizer.lr = lr
+        self._last_lr = lr
         return lr
 
 
@@ -62,6 +81,12 @@ class CosineAnnealingLR(_Scheduler):
             raise ValueError("t_max must be positive")
         self.t_max = t_max
         self.eta_min = eta_min
+
+    def _rebase(self, scale: float) -> None:
+        # Scale the floor too, otherwise a backoff below eta_min would
+        # be immediately undone by the next step.
+        super()._rebase(scale)
+        self.eta_min *= scale
 
     def get_lr(self) -> float:
         progress = min(self.epoch, self.t_max) / self.t_max

@@ -85,7 +85,14 @@ class Tensor:
         :meth:`backward` is called on a downstream result.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_grad_buffer",
+    )
 
     def __init__(self, data, requires_grad: bool = False) -> None:
         if isinstance(data, Tensor):
@@ -95,6 +102,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
+        self._grad_buffer: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -123,6 +131,15 @@ class Tensor:
         return Tensor(self.data)
 
     def zero_grad(self) -> None:
+        """Clear the gradient, recycling its storage for the next backward.
+
+        Long-lived tensors (parameters) accumulate a same-shaped gradient
+        every step; keeping the released array as ``_grad_buffer`` lets
+        :meth:`_accumulate` refill it in place instead of allocating a
+        fresh copy per batch.
+        """
+        if self.grad is not None:
+            self._grad_buffer = self.grad
         self.grad = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -151,7 +168,13 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            buffer = self._grad_buffer
+            if buffer is not None and buffer.shape == np.shape(grad):
+                np.copyto(buffer, grad)
+                self.grad = buffer
+                self._grad_buffer = None
+            else:
+                self.grad = np.array(grad, dtype=np.float64, copy=True)
         else:
             self.grad += grad
 

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import TriADConfig, train_encoder
+from repro.core.trainer import contrastive_forward_fusion
 
 
 @pytest.fixture
@@ -54,3 +55,47 @@ class TestTrainEncoder:
         config = fast_config.with_overrides(use_inter=False)
         result = train_encoder(noisy_wave, config)
         assert np.isfinite(result.train_losses[-1])
+
+
+class TestContrastiveForwardFusion:
+    def test_fused_forward_matches_two_pass(self, noisy_wave, fast_config):
+        """The concatenated [originals; augmented] pass must reproduce the
+        two-pass losses: every encoder op is batch-row independent, so
+        the only tolerated difference is BLAS rounding the last ulp
+        differently for the doubled row count."""
+        with contrastive_forward_fusion(True):
+            fused = train_encoder(noisy_wave, fast_config)
+        with contrastive_forward_fusion(False):
+            two_pass = train_encoder(noisy_wave, fast_config)
+        assert np.allclose(fused.train_losses, two_pass.train_losses, rtol=1e-12)
+        assert np.allclose(fused.val_losses, two_pass.val_losses, rtol=1e-12)
+        for (name_a, p_a), (name_b, p_b) in zip(
+            fused.encoder.named_parameters(), two_pass.encoder.named_parameters()
+        ):
+            assert name_a == name_b
+            assert np.allclose(p_a.data, p_b.data, rtol=1e-10, atol=1e-12)
+
+
+class TestDataParallelTraining:
+    def test_parallel_workers_train(self, noisy_wave):
+        config = TriADConfig(
+            depth=2, hidden_dim=8, epochs=2, seed=0, max_window=128,
+            data_parallel_workers=2,
+        )
+        result = train_encoder(noisy_wave, config)
+        assert len(result.train_losses) == 2
+        assert all(np.isfinite(l) for l in result.train_losses)
+        assert not result.encoder.training
+
+    def test_parallel_reproducible_given_seed(self, noisy_wave):
+        config = TriADConfig(
+            depth=2, hidden_dim=8, epochs=2, seed=0, max_window=128,
+            data_parallel_workers=2,
+        )
+        a = train_encoder(noisy_wave, config)
+        b = train_encoder(noisy_wave, config)
+        assert a.train_losses == b.train_losses
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            TriADConfig(data_parallel_workers=-1)

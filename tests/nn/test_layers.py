@@ -91,6 +91,34 @@ class TestBatchNorm1d:
         with pytest.raises(ValueError):
             layer(nn.Tensor(layer_rng.normal(size=(4, 2))))
 
+    def test_running_var_uses_unbiased_estimator(self, layer_rng):
+        # Regression: the running buffer must track the unbiased (ddof=1)
+        # variance, not the biased batch variance used for normalization.
+        layer = nn.BatchNorm1d(2, momentum=1.0)
+        x = layer_rng.normal(size=(3, 2, 4)) * 3.0
+        layer(nn.Tensor(x))
+        unbiased = x.var(axis=(0, 2), ddof=1)
+        biased = x.var(axis=(0, 2), ddof=0)
+        assert np.allclose(layer._buffer_running_var, unbiased, atol=1e-12)
+        assert not np.allclose(layer._buffer_running_var, biased, atol=1e-12)
+
+    def test_training_normalization_stays_biased(self, layer_rng):
+        # The unbiased correction applies only to the running buffer; the
+        # batch itself is still normalized with ddof=0 statistics.
+        layer = nn.BatchNorm1d(1)
+        x = layer_rng.normal(size=(2, 1, 3)) * 5.0
+        out = layer(nn.Tensor(x)).data
+        expected = (x - x.mean(axis=(0, 2), keepdims=True)) / np.sqrt(
+            x.var(axis=(0, 2), keepdims=True) + layer.eps
+        )
+        assert np.allclose(out, expected, atol=1e-12)
+
+    def test_single_element_batch_skips_correction(self):
+        # count == 1 would divide by zero; the correction must be skipped.
+        layer = nn.BatchNorm1d(1, momentum=1.0)
+        layer(nn.Tensor(np.full((1, 1, 1), 3.0)))
+        assert np.isfinite(layer._buffer_running_var).all()
+
 
 class TestActivationsAndDropout:
     def test_relu(self):

@@ -47,6 +47,59 @@ class TestCosineAnnealingLR:
         assert lr == pytest.approx(0.0)
 
 
+class TestSchedulerRebase:
+    """External lr changes (trainer divergence backoff) must re-base the
+    schedule instead of being clobbered by the next ``step()``."""
+
+    def test_step_lr_respects_external_backoff(self):
+        optimizer = make_optimizer(lr=1.0)
+        scheduler = nn.StepLR(optimizer, step_size=10, gamma=0.1)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(1.0)
+        # The trainer's divergence guard halves the lr out from under us.
+        optimizer.lr *= 0.5
+        lr = scheduler.step()
+        # Pre-fix this restored the original schedule (1.0); re-based it
+        # continues at the reduced level.
+        assert lr == pytest.approx(0.5)
+        assert scheduler.base_lr == pytest.approx(0.5)
+
+    def test_exponential_lr_backoff_then_schedule(self):
+        optimizer = make_optimizer(lr=1.0)
+        scheduler = nn.ExponentialLR(optimizer, gamma=0.5)
+        scheduler.step()  # 0.5
+        optimizer.lr *= 0.25  # backoff to 0.125
+        assert scheduler.step() == pytest.approx(0.0625)  # decays from 0.125
+        assert scheduler.step() == pytest.approx(0.03125)
+
+    def test_cosine_rebases_eta_min_too(self):
+        optimizer = make_optimizer(lr=1.0)
+        scheduler = nn.CosineAnnealingLR(optimizer, t_max=4, eta_min=0.2)
+        scheduler.step()
+        optimizer.lr *= 0.5
+        for _ in range(5):
+            lr = scheduler.step()
+        assert lr == pytest.approx(scheduler.eta_min)
+        assert scheduler.eta_min == pytest.approx(0.1)
+
+    def test_unchanged_lr_does_not_rebase(self):
+        optimizer = make_optimizer(lr=2.0)
+        scheduler = nn.StepLR(optimizer, step_size=2, gamma=0.5)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == [pytest.approx(v) for v in [2.0, 1.0, 1.0, 0.5]]
+        assert scheduler.base_lr == pytest.approx(2.0)
+
+    def test_rebase_from_zero_adopts_new_lr(self):
+        optimizer = make_optimizer(lr=1.0)
+        scheduler = nn.CosineAnnealingLR(optimizer, t_max=2, eta_min=0.0)
+        for _ in range(3):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.0)
+        optimizer.lr = 0.3  # external reset from a zero lr
+        scheduler.step()
+        assert scheduler.base_lr == pytest.approx(0.3)
+
+
 class TestEarlyStopping:
     def test_stops_after_patience(self):
         stopper = nn.EarlyStopping(patience=3)

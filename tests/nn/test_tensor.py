@@ -199,3 +199,42 @@ class TestGradients:
         assert x.grad is not None
         x.zero_grad()
         assert x.grad is None
+
+
+class TestGradBufferRecycling:
+    """zero_grad parks the released gradient array and the next backward
+    refills that exact storage instead of allocating a fresh one."""
+
+    def test_zero_grad_parks_buffer(self):
+        x = t([1.0, 2.0])
+        (x * 2).sum().backward()
+        released = x.grad
+        x.zero_grad()
+        assert x.grad is None
+        assert x._grad_buffer is released
+
+    def test_accumulate_refills_parked_buffer(self):
+        x = t([1.0, 2.0])
+        (x * 2).sum().backward()
+        first = x.grad
+        x.zero_grad()
+        (x * 3).sum().backward()
+        assert x.grad is first  # same array object, refilled in place
+        assert x._grad_buffer is None
+        assert np.allclose(x.grad, [3.0, 3.0])
+
+    def test_shape_mismatch_falls_back_to_fresh_array(self):
+        x = t([1.0, 2.0])
+        (x * 2).sum().backward()
+        x.zero_grad()
+        x._grad_buffer = np.zeros(5)  # wrong shape: must not be reused
+        (x * 3).sum().backward()
+        assert x.grad.shape == (2,)
+        assert np.allclose(x.grad, [3.0, 3.0])
+
+    def test_recycled_gradient_values_stay_correct(self):
+        x = t([[1.0, -2.0], [0.5, 4.0]])
+        for scale in (2.0, -1.0, 0.25):
+            x.zero_grad()
+            (x * scale).sum().backward()
+            assert np.allclose(x.grad, scale)
