@@ -1,0 +1,60 @@
+"""Bulk-inference job fabric benchmark (``BENCH_jobs.json``).
+
+The claim backing ``repro.jobs``: bulk-scoring a multi-million-point
+series through the chunked job executor (4 workers, batched vectorized
+chunk scoring, journaled progress) beats the pre-jobs single-process
+per-window loop by >= 2.5x, while the stitched scores stay *exactly*
+``np.array_equal`` to a single-pass batched reference — chunking and
+journaling must not move a bit.
+
+The measurement lives in ``scripts/bench_jobs.py`` — run that to
+(re)generate ``BENCH_jobs.json`` at the repo root — and this module
+re-runs it under the ``bench`` marker so ``pytest -m bench`` covers the
+gate too::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_jobs.py -m bench
+
+Tier-1 (`pytest -x -q`) never collects it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "bench_jobs.py"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_jobs_script", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_jobs_script", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def report():
+    return _load_bench().run_bench(repeats=2)
+
+
+def test_stitched_scores_exactly_match_single_pass(report):
+    assert report["stitched_equals_single_pass"]
+
+
+def test_jobs_path_beats_per_window_loop(report):
+    assert report["speedup_x"] >= 2.5, (
+        f"jobs path only {report['speedup_x']:.2f}x faster "
+        f"(per-window loop {report['per_window_loop_s']:.3f}s vs "
+        f"jobs {report['jobs_4workers_s']:.3f}s)"
+    )
+
+
+def test_gate_passes(report):
+    assert report["gate"]["passed"]

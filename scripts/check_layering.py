@@ -14,7 +14,16 @@ growing back.
     3  pipeline          (the canonical window/feature/contract layer)
     4  core, baselines
     5  eval, serve
-    6  viz, cli          (presentation; imports lazily anyway)
+    6  jobs              (bulk-inference fabric over pipeline/eval)
+    7  viz, cli          (presentation; imports lazily anyway)
+
+``repro.jobs`` additionally faces a *consumer* restriction
+(``RESTRICTED_CONSUMERS``): only ``cli`` may import it, at any scope.
+The job fabric is an orchestration shell around the lower layers —
+letting eval/serve/core reach back into it would create exactly the
+cyclic "everything drives everything" coupling the subsystem was built
+to avoid (eval exposes ``execute_unit`` and jobs drives it, never the
+reverse).
 
 Note: this order deviates from an idealized "observability above the
 model" stacking — ``core`` instruments itself through ``obs`` and
@@ -72,12 +81,22 @@ LAYERS: dict[str, int] = {
     "baselines": 4,
     "eval": 5,
     "serve": 5,
-    "viz": 6,
-    "cli": 6,
+    "jobs": 6,
+    "viz": 7,
+    "cli": 7,
     # The facade re-exports the public API and the entry point launches
     # it; both sit above everything by construction.
-    "__init__": 7,
-    "__main__": 7,
+    "__init__": 8,
+    "__main__": 8,
+}
+
+# Consumer restrictions: packages only the listed consumers may import,
+# at ANY scope (the function-level escape hatch does not apply).  The
+# job fabric orchestrates the layers below it; nothing below may grow a
+# dependency on it, and even the facade stays clean so ``import repro``
+# never drags in multiprocessing machinery.
+RESTRICTED_CONSUMERS: dict[str, frozenset[str]] = {
+    "jobs": frozenset({"cli"}),
 }
 
 # Packages that must stay *import-leaves*: no ``repro.*`` import at ANY
@@ -223,6 +242,21 @@ def check(package_root: Path = PACKAGE_ROOT) -> list[str]:
                     f"serve sublayer map (scripts/check_layering.py)"
                 )
         tree = ast.parse(path.read_text(), filename=str(path))
+        for restricted, allowed in RESTRICTED_CONSUMERS.items():
+            if source_pkg == restricted or source_pkg in allowed:
+                continue
+            for node in ast.walk(tree):
+                if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                    continue
+                for target in _imported_packages(node, path, package_root):
+                    if target == restricted:
+                        violations.append(
+                            f"{where}:{node.lineno}: {source_pkg} imports "
+                            f"repro.{restricted}, but only "
+                            f"{sorted(allowed)} may (any scope) — the "
+                            f"{restricted} fabric drives lower layers, "
+                            f"never the reverse"
+                        )
         if source_pkg in IMPORT_LEAF:
             for node in ast.walk(tree):
                 if not isinstance(node, (ast.Import, ast.ImportFrom)):

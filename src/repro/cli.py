@@ -20,6 +20,12 @@ Commands
               guarded background retrain, shadow evaluation, and
               auto-promotion (see ``docs/ADAPTIVE.md``).
 ``tune``      Grid-search TriAD hyper-parameters on a small archive.
+``submit``    Submit a bulk-scoring job (resumable chunked execution)
+              and drive it to a terminal state; re-running the same
+              command resumes rather than recomputes (docs/JOBS.md).
+``jobs``      List jobs in a store with state and chunk progress.
+``job-result``  Print (or save) the stitched scores of a finished job.
+``job-cancel``  Cancel a pending or running job cooperatively.
 """
 
 from __future__ import annotations
@@ -91,6 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--trace", action="store_true",
                            help="also record nested spans (requires "
                                 "--metrics-out); view with 'repro profile'")
+    p_compare.add_argument("--workers", type=int, default=1,
+                           help="run (dataset, seed) units on N worker "
+                                "processes via the job fabric; results are "
+                                "identical to the sequential sweep")
 
     sub.add_parser("experiments", help="list paper artifacts and benches")
 
@@ -168,6 +178,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metrics-out", type=Path, default=None,
                          help="export observability metrics recorded during "
                               "the replay as JSONL")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a resumable bulk-scoring job and run it"
+    )
+    p_submit.add_argument("--dataset", type=str, default="0",
+                          help="archive index, or path to a real UCR file")
+    p_submit.add_argument("--detector", type=str, default="spectral-residual",
+                          help="a registered job detector (see docs/JOBS.md); "
+                               "e.g. triad, spectral-residual, lstm-ae, usad, "
+                               "deepant, donut, changepoint, random")
+    p_submit.add_argument("--store", type=Path, default=Path("jobstore"),
+                          help="job store directory (journals + inputs + "
+                               "results); jobs resume from here after a crash")
+    p_submit.add_argument("--workers", type=int, default=1,
+                          help="chunk-scoring worker processes")
+    p_submit.add_argument("--chunk-windows", type=int, default=256,
+                          help="windows per chunk (journal/resume granularity)")
+    p_submit.add_argument("--epochs", type=int, default=2,
+                          help="training epochs for trainable detectors")
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--retries", type=int, default=None,
+                          help="retry a failing chunk up to N times before "
+                               "failing the job")
+    p_submit.add_argument("--budget-seconds", type=float, default=None,
+                          help="wall-clock budget for the run; an over-budget "
+                               "job fails cleanly and resumes from the journal")
+
+    p_jobs = sub.add_parser("jobs", help="list jobs in a store")
+    p_jobs.add_argument("--store", type=Path, default=Path("jobstore"))
+
+    p_jresult = sub.add_parser(
+        "job-result", help="print or save a finished job's stitched scores"
+    )
+    p_jresult.add_argument("job_id", type=str)
+    p_jresult.add_argument("--store", type=Path, default=Path("jobstore"))
+    p_jresult.add_argument("--out", type=Path, default=None,
+                           help="save scores as .npy instead of summarizing")
+
+    p_jcancel = sub.add_parser(
+        "job-cancel", help="cancel a pending or running job"
+    )
+    p_jcancel.add_argument("job_id", type=str)
+    p_jcancel.add_argument("--store", type=Path, default=Path("jobstore"))
 
     p_tune = sub.add_parser("tune", help="grid-search TriAD hyper-parameters")
     p_tune.add_argument("--size", type=int, default=3)
@@ -334,7 +387,17 @@ def _cmd_compare(args) -> int:
             else:
                 print(f"unknown detector {name!r}", file=sys.stderr)
                 return 2
-            runner = run_scores_on_archive if args.mode == "scores" else run_on_archive
+            if args.workers > 1:
+                from .jobs import run_archive_job
+
+                def runner(name, factory, archive, seeds, policy, checkpoint):
+                    return run_archive_job(
+                        name, factory, archive, seeds=seeds, mode=args.mode,
+                        workers=args.workers, policy=policy,
+                        checkpoint=checkpoint,
+                    )
+            else:
+                runner = run_scores_on_archive if args.mode == "scores" else run_on_archive
             checkpoint = None
             if args.checkpoint is not None:
                 args.checkpoint.mkdir(parents=True, exist_ok=True)
@@ -579,6 +642,124 @@ def _cmd_serve_replay(args) -> int:
             obs.uninstall()
 
 
+def _build_job_manager(args):
+    from .jobs import JobManager
+    from .runtime import RetryPolicy, RunBudget
+
+    policy = None
+    if getattr(args, "retries", None) is not None:
+        policy = RetryPolicy(max_retries=args.retries)
+    budget = None
+    if getattr(args, "budget_seconds", None) is not None:
+        budget = RunBudget(max_seconds=args.budget_seconds)
+    return JobManager(
+        args.store,
+        workers=getattr(args, "workers", 1),
+        policy=policy,
+        budget=budget,
+    )
+
+
+def _cmd_submit(args) -> int:
+    from .jobs import FAILED, JobSpec, job_detectors
+
+    if args.detector not in job_detectors():
+        print(f"unknown job detector {args.detector!r}; registered: "
+              + ", ".join(job_detectors()), file=sys.stderr)
+        return 2
+    dataset = _load_dataset(args.dataset)
+    series = np.concatenate([dataset.train, dataset.test])
+    print(f"dataset {dataset.name}: {len(series)} points "
+          f"(train={len(dataset.train)} test={len(dataset.test)})")
+
+    manager = _build_job_manager(args)
+    spec = JobSpec(
+        detector=args.detector,
+        params={"epochs": args.epochs, "seed": args.seed},
+        chunk_windows=args.chunk_windows,
+    )
+    record = manager.submit(spec, series, train=dataset.train)
+    print(f"job {record.job_id}: {record.state}, "
+          f"{record.chunks_done}/{record.chunks_total} chunks "
+          f"(window={record.spec.window_length}, stride={record.spec.stride})")
+    record = manager.run(record.job_id)
+    print(f"job {record.job_id}: {record.state}, "
+          f"{record.chunks_done}/{record.chunks_total} chunks")
+    if record.state == FAILED:
+        print(f"error: {record.error}", file=sys.stderr)
+        print("re-run the same command to resume from the journal",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from .eval import render_table
+    from .jobs import JobManager
+
+    records = JobManager(args.store).list_jobs()
+    if not records:
+        print(f"no jobs in {args.store}")
+        return 0
+    rows = [
+        [
+            r.job_id,
+            r.spec.detector,
+            r.state,
+            f"{r.chunks_done}/{r.chunks_total}",
+            str(r.n_points),
+            r.error or "",
+        ]
+        for r in records
+    ]
+    print(render_table(
+        ["Job", "Detector", "State", "Chunks", "Points", "Error"], rows,
+        title=f"Jobs in {args.store}",
+    ))
+    return 0
+
+
+def _cmd_job_result(args) -> int:
+    from .jobs import JobManager
+
+    manager = JobManager(args.store)
+    try:
+        scores = manager.result(args.job_id)
+    except (KeyError, RuntimeError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.out is not None:
+        np.save(args.out, scores)
+        print(f"wrote {len(scores)} scores to {args.out}")
+        return 0
+    top = np.argsort(scores)[::-1][:5]
+    print(f"{len(scores)} scores: min={scores.min():.4f} "
+          f"mean={scores.mean():.4f} max={scores.max():.4f}")
+    print("top indices: " + ", ".join(
+        f"{i} ({scores[i]:.4f})" for i in sorted(top)
+    ))
+    return 0
+
+
+def _cmd_job_cancel(args) -> int:
+    from .jobs import JobManager
+
+    manager = JobManager(args.store)
+    try:
+        took_effect = manager.cancel(args.job_id)
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    record = manager.status(args.job_id)
+    if took_effect:
+        print(f"job {args.job_id}: {record.state}"
+              + ("" if record.state == "CANCELLED"
+                 else " (cancel requested; honored between chunks)"))
+    else:
+        print(f"job {args.job_id} already terminal ({record.state})")
+    return 0
+
+
 def _cmd_tune(args) -> int:
     from .core import TriADConfig
     from .data import make_archive
@@ -616,6 +797,10 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "serve-replay": _cmd_serve_replay,
         "tune": _cmd_tune,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
+        "job-result": _cmd_job_result,
+        "job-cancel": _cmd_job_cancel,
     }
     return handlers[args.command](args)
 

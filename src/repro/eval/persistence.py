@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import asdict
 from pathlib import Path
 
@@ -88,21 +89,29 @@ class SweepCheckpoint:
     ) -> tuple[dict[tuple[str, int], DatasetScores], dict[tuple[str, int], FailureReport]]:
         """Parse the journal into (results, failures) keyed by unit.
 
-        Later entries win over earlier ones for the same unit; lines
-        that fail to parse (torn writes) are skipped.
+        Later entries win over earlier ones for the same unit.  Lines
+        that fail to parse or reconstruct — a truncated final line from
+        a process killed mid-write, or a non-dict / wrong-schema entry —
+        are skipped with a warning naming the line, so a damaged journal
+        degrades to re-running the affected units instead of aborting
+        the resume.
         """
         results: dict[tuple[str, int], DatasetScores] = {}
         failures: dict[tuple[str, int], FailureReport] = {}
         if not self.path.exists():
             return results, failures
         with open(self.path, encoding="utf-8") as handle:
-            for line in handle:
+            for lineno, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     entry = json.loads(line)
                 except json.JSONDecodeError:
+                    self._warn_skip(lineno, "not valid JSON (torn write?)")
+                    continue
+                if not isinstance(entry, dict):
+                    self._warn_skip(lineno, f"expected an object, got {type(entry).__name__}")
                     continue
                 kind = entry.pop("kind", None)
                 try:
@@ -116,9 +125,19 @@ class SweepCheckpoint:
                         key = (report.dataset, report.seed)
                         failures[key] = report
                         results.pop(key, None)
-                except TypeError:
-                    continue
+                    else:
+                        self._warn_skip(lineno, f"unknown kind {kind!r}")
+                except (TypeError, KeyError, ValueError, AttributeError) as error:
+                    self._warn_skip(lineno, f"{type(error).__name__}: {error}")
         return results, failures
+
+    def _warn_skip(self, lineno: int, reason: str) -> None:
+        warnings.warn(
+            f"skipping checkpoint entry {self.path}:{lineno}: {reason}; "
+            "the affected unit will re-run",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def append_result(self, run: DatasetScores) -> None:
         self._append({"kind": "result", **asdict(run)})

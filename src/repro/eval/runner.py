@@ -53,6 +53,8 @@ __all__ = [
     "AggregateScores",
     "evaluate_predictions",
     "evaluate_scores",
+    "execute_unit",
+    "aggregate_runs",
     "run_on_archive",
     "run_scores_on_archive",
     "METRIC_NAMES",
@@ -298,13 +300,107 @@ def _attempt_unit(
     )
 
 
+_UNIT_RUNNERS = {"binary": _run_unit_binary, "scores": _run_unit_scores}
+
+
+def execute_unit(
+    name: str,
+    factory: Callable[[int], object],
+    dataset: Dataset,
+    seed: int,
+    policy: RetryPolicy | None = None,
+    mode: str = "binary",
+    on_detection=None,
+) -> DatasetScores | FailureReport:
+    """Run exactly one (dataset, seed) unit — the sweep's atom.
+
+    With a policy the unit is isolated (bounded retries with reseeding,
+    exhausted units become :class:`FailureReport`); without one any
+    exception propagates.  ``mode`` selects binary-prediction or
+    continuous-score evaluation.  This is the hook the job fabric
+    (:func:`repro.jobs.run_archive_job`) parallelizes over, so a worker
+    process and the in-process sweep execute byte-identical unit code.
+    """
+    try:
+        run_unit = _UNIT_RUNNERS[mode]
+    except KeyError:
+        raise ValueError(f"mode must be one of {sorted(_UNIT_RUNNERS)}, got {mode!r}")
+    with obs.span(
+        "eval.unit", detector=name, dataset=dataset.name, seed=seed
+    ) as unit_span:
+        if policy is None:
+            validate_dataset(dataset)
+            unit = _Unit()
+            outcome = run_unit(factory(seed), dataset, seed, unit, None, on_detection)
+        else:
+            outcome = _attempt_unit(
+                name, factory, dataset, seed, policy, run_unit, on_detection
+            )
+        obs.incr("eval.units")
+        obs.incr("eval.retries", max(outcome.attempts - 1, 0))
+        if isinstance(outcome, FailureReport):
+            unit_span.set(outcome="failure", stage=outcome.stage)
+            obs.incr("eval.failures")
+            obs.incr(f"eval.failures.stage.{outcome.stage}")
+        else:
+            unit_span.set(outcome="result", attempts=outcome.attempts)
+    return outcome
+
+
+def aggregate_runs(
+    name: str,
+    per_run: list[DatasetScores],
+    failures: list[FailureReport],
+    seeds: Sequence[int],
+    metric_names: tuple[str, ...],
+    total_units: int,
+) -> AggregateScores:
+    """Fold per-unit outcomes into :class:`AggregateScores`.
+
+    Per-seed archive averages over surviving runs, then mean/std across
+    seeds that have at least one survivor; ``coverage`` is completed /
+    scheduled units.  Shared by the sequential runners and the parallel
+    job-fabric sweep so both aggregate identically.
+    """
+    seed_means: dict[int, dict[str, float]] = {}
+    for seed in seeds:
+        runs = [r for r in per_run if r.seed == seed]
+        if runs:
+            seed_means[seed] = {
+                m: float(np.mean([r.metrics[m] for r in runs])) for m in metric_names
+            }
+    live_seeds = [s for s in seeds if s in seed_means]
+    if live_seeds:
+        mean = {
+            m: float(np.mean([seed_means[s][m] for s in live_seeds]))
+            for m in metric_names
+        }
+        std = {
+            m: float(np.std([seed_means[s][m] for s in live_seeds]))
+            for m in metric_names
+        }
+    else:
+        mean = {m: float("nan") for m in metric_names}
+        std = {m: float("nan") for m in metric_names}
+
+    coverage = len(per_run) / total_units if total_units else 1.0
+    return AggregateScores(
+        detector=name,
+        mean=mean,
+        std=std,
+        per_run=per_run,
+        failures=failures,
+        coverage=coverage,
+    )
+
+
 def _sweep(
     name: str,
     factory: Callable[[int], object],
     datasets: list[Dataset],
     seeds: Sequence[int],
     metric_names: tuple[str, ...],
-    run_unit,
+    mode: str,
     policy: RetryPolicy | None,
     checkpoint,
     on_detection,
@@ -332,66 +428,31 @@ def _sweep(
                 obs.incr("eval.checkpoint.splice_hits")
                 obs.incr("eval.checkpoint.spliced_failures")
                 continue
-            with obs.span(
-                "eval.unit", detector=name, dataset=dataset.name, seed=seed
-            ) as unit_span:
-                if policy is None:
-                    validate_dataset(dataset)
-                    unit = _Unit()
-                    outcome = run_unit(
-                        factory(seed), dataset, seed, unit, None, on_detection
-                    )
-                else:
-                    outcome = _attempt_unit(
-                        name, factory, dataset, seed, policy, run_unit, on_detection
-                    )
-                obs.incr("eval.units")
-                obs.incr("eval.retries", max(outcome.attempts - 1, 0))
-                if isinstance(outcome, FailureReport):
-                    unit_span.set(outcome="failure", stage=outcome.stage)
-                    obs.incr("eval.failures")
-                    obs.incr(f"eval.failures.stage.{outcome.stage}")
-                    failures.append(outcome)
-                    if checkpoint is not None:
-                        checkpoint.append_failure(outcome)
-                else:
-                    unit_span.set(outcome="result", attempts=outcome.attempts)
-                    per_run.append(outcome)
-                    if checkpoint is not None:
-                        checkpoint.append_result(outcome)
+            outcome = execute_unit(
+                name,
+                factory,
+                dataset,
+                seed,
+                policy=policy,
+                mode=mode,
+                on_detection=on_detection,
+            )
+            if isinstance(outcome, FailureReport):
+                failures.append(outcome)
+                if checkpoint is not None:
+                    checkpoint.append_failure(outcome)
+            else:
+                per_run.append(outcome)
+                if checkpoint is not None:
+                    checkpoint.append_result(outcome)
 
-    # Per-seed archive averages over surviving runs, then mean/std across
-    # seeds that have at least one survivor.
-    seed_means: dict[int, dict[str, float]] = {}
-    for seed in seeds:
-        runs = [r for r in per_run if r.seed == seed]
-        if runs:
-            seed_means[seed] = {
-                m: float(np.mean([r.metrics[m] for r in runs])) for m in metric_names
-            }
-    live_seeds = [s for s in seeds if s in seed_means]
-    if live_seeds:
-        mean = {
-            m: float(np.mean([seed_means[s][m] for s in live_seeds]))
-            for m in metric_names
-        }
-        std = {
-            m: float(np.std([seed_means[s][m] for s in live_seeds]))
-            for m in metric_names
-        }
-    else:
-        mean = {m: float("nan") for m in metric_names}
-        std = {m: float("nan") for m in metric_names}
-
-    total = len(list(seeds)) * len(datasets)
-    coverage = len(per_run) / total if total else 1.0
-    return AggregateScores(
-        detector=name,
-        mean=mean,
-        std=std,
-        per_run=per_run,
-        failures=failures,
-        coverage=coverage,
+    return aggregate_runs(
+        name,
+        per_run,
+        failures,
+        seeds,
+        metric_names,
+        total_units=len(list(seeds)) * len(datasets),
     )
 
 
@@ -420,7 +481,7 @@ def run_scores_on_archive(
         datasets,
         list(seeds),
         SCORE_METRIC_NAMES,
-        _run_unit_scores,
+        "scores",
         policy,
         checkpoint,
         on_detection=None,
@@ -465,7 +526,7 @@ def run_on_archive(
         datasets,
         list(seeds),
         METRIC_NAMES,
-        _run_unit_binary,
+        "binary",
         policy,
         checkpoint,
         on_detection,

@@ -1,0 +1,136 @@
+"""Window-aligned chunking of a long series.
+
+The executor does not split a series into disjoint point ranges — that
+would tear windows at chunk boundaries and change scores near the
+seams.  Instead the *global window sequence* (exactly the one
+:func:`repro.signal.windows.sliding_windows` would produce for the full
+series) is partitioned into contiguous runs of windows, and each chunk
+carries the point range covering its windows.  Chunks therefore overlap
+by up to ``length - stride`` points, every global window is scored by
+exactly one chunk, and stitching is plain concatenation of per-window
+scores followed by the shared
+:func:`repro.pipeline.scores.spread_window_scores` — bit-identical to a
+single pass over the full series by construction (given a
+row-independent scorer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..pipeline.scores import spread_window_scores
+
+__all__ = ["Chunk", "window_starts", "plan_chunks", "chunk_windows_view", "stitch"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One contiguous run of global windows.
+
+    Attributes
+    ----------
+    index:
+        Position in the chunk sequence (journal key).
+    first_window / n_windows:
+        Slice of the global window ordering this chunk scores.
+    start / stop:
+        Point range ``series[start:stop]`` covering the chunk's windows
+        (``stop`` exclusive).  Adjacent chunks overlap by up to
+        ``length - stride`` points so no window is torn.
+    """
+
+    index: int
+    first_window: int
+    n_windows: int
+    start: int
+    stop: int
+
+
+def window_starts(n_points: int, length: int, stride: int) -> np.ndarray:
+    """Global window start offsets — the exact sequence
+    :func:`repro.signal.windows.sliding_windows` produces (stride grid
+    plus the end-anchored final window), without materializing windows.
+    """
+    if length > n_points:
+        raise ValueError(f"window length {length} exceeds series length {n_points}")
+    if stride < 1:
+        raise ValueError("stride must be positive")
+    starts = list(range(0, n_points - length + 1, stride))
+    last = n_points - length
+    if starts[-1] != last:
+        starts.append(last)
+    return np.asarray(starts, dtype=np.int64)
+
+
+def plan_chunks(
+    n_points: int, length: int, stride: int, chunk_windows: int
+) -> list[Chunk]:
+    """Partition the global window sequence into runs of at most
+    ``chunk_windows`` windows."""
+    if chunk_windows < 1:
+        raise ValueError("chunk_windows must be positive")
+    starts = window_starts(n_points, length, stride)
+    chunks: list[Chunk] = []
+    for first in range(0, len(starts), chunk_windows):
+        run = starts[first : first + chunk_windows]
+        chunks.append(
+            Chunk(
+                index=len(chunks),
+                first_window=first,
+                n_windows=len(run),
+                start=int(run[0]),
+                stop=int(run[-1]) + length,
+            )
+        )
+    return chunks
+
+
+def chunk_windows_view(
+    series: np.ndarray, chunk: Chunk, length: int, stride: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize one chunk's windows and their *global* start offsets.
+
+    The windows are gathered at the global grid positions, so their
+    content is value-identical to rows ``first_window :
+    first_window + n_windows`` of a full-series ``sliding_windows``
+    call.
+    """
+    starts = window_starts(len(series), length, stride)
+    run = starts[chunk.first_window : chunk.first_window + chunk.n_windows]
+    windows = np.stack([series[s : s + length] for s in run])
+    return windows, run
+
+
+def stitch(
+    chunk_scores: dict[int, np.ndarray],
+    chunks: list[Chunk],
+    length: int,
+    stride: int,
+    n_points: int,
+) -> np.ndarray:
+    """Reassemble per-chunk window scores into one point-score array.
+
+    Requires every chunk's scores to be present; raises ``KeyError``
+    naming the first missing chunk otherwise (the manager only calls
+    this once the journal is complete).
+    """
+    total_windows = sum(c.n_windows for c in chunks)
+    window_scores = np.empty(total_windows, dtype=np.float64)
+    for chunk in chunks:
+        try:
+            scores = np.asarray(chunk_scores[chunk.index], dtype=np.float64)
+        except KeyError:
+            raise KeyError(
+                f"chunk {chunk.index} has no journaled scores; "
+                f"{len(chunk_scores)}/{len(chunks)} chunks present"
+            ) from None
+        if scores.shape != (chunk.n_windows,):
+            raise ValueError(
+                f"chunk {chunk.index} journaled {scores.shape} scores, "
+                f"expected ({chunk.n_windows},)"
+            )
+        window_scores[chunk.first_window : chunk.first_window + chunk.n_windows] = scores
+    starts = window_starts(n_points, length, stride)
+    return spread_window_scores(window_scores, starts, length, n_points)

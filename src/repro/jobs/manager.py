@@ -1,0 +1,238 @@
+"""The job lifecycle manager: submit / status / result / cancel.
+
+``submit`` validates the payload, resolves the window plan, dedupes
+against prior submissions by content (idempotency key), journals the
+job as ``PENDING``, and persists the inputs so any process can pick it
+up.  ``run`` drives a job to a terminal state through the chunked
+executor: completed chunks replay from the journal, so re-running a job
+that died mid-flight (kill -9 included) resumes from the last fsync'd
+chunk and produces scores bit-identical to an uninterrupted run.
+
+The manager is synchronous by design — "async" is a property of the
+*lifecycle* (submission, inputs, and progress live in the store, not in
+any process), so the driver can die and a new one continue.  See
+``docs/JOBS.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import numpy as np
+
+from .. import obs
+from ..runtime import RetryPolicy, RunBudget
+from ..validation import ensure_series
+from .chunking import plan_chunks, stitch
+from .executor import CANCELLED_OUTCOME, ChunkedExecutor
+from .registry import build_scorer
+from .spec import (
+    CANCELLED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    SUCCEEDED,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    idempotency_key,
+)
+from .store import JobStore
+
+__all__ = ["JobManager"]
+
+
+class JobManager:
+    """Submit, run, inspect, and cancel bulk-scoring jobs on one store."""
+
+    def __init__(
+        self,
+        store: JobStore | str | os.PathLike,
+        workers: int = 1,
+        policy: RetryPolicy | None = None,
+        budget: RunBudget | None = None,
+    ) -> None:
+        self.store = store if isinstance(store, JobStore) else JobStore(store)
+        self.executor = ChunkedExecutor(workers=workers, policy=policy, budget=budget)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        series: np.ndarray,
+        train: np.ndarray | None = None,
+    ) -> JobRecord:
+        """Validate, dedupe, and journal a job as ``PENDING``.
+
+        ``train`` is the anomaly-free split the detector fits (and the
+        window plan derives from); it defaults to ``series`` for
+        training-free scorers.  Submitting a payload whose content
+        digest matches an earlier job returns that job's record instead
+        of creating a duplicate — call :meth:`run` on it to resume or
+        re-run.
+
+        Raises ``ValueError`` for empty / non-finite / non-1-D input and
+        for a series shorter than one window.
+        """
+        series = ensure_series(series, "series", min_length=2)
+        train = (
+            series
+            if train is None
+            else ensure_series(train, "train", min_length=2)
+        )
+        spec = self._resolve(spec, train)
+        if len(series) < spec.window_length:
+            raise ValueError(
+                f"series has {len(series)} points but one window needs "
+                f"{spec.window_length}; bulk scoring needs at least one "
+                f"full window (pass a smaller max_window, or score "
+                f"in-process instead)"
+            )
+        key = idempotency_key(spec, series, train)
+        existing = self.store.find_by_key(key)
+        if existing is not None:
+            obs.incr("jobs.submit.deduped")
+            return existing
+        chunks = plan_chunks(
+            len(series), spec.window_length, spec.stride, spec.chunk_windows
+        )
+        record = JobRecord(
+            job_id=f"job-{key[:16]}",
+            key=key,
+            spec=spec,
+            state=PENDING,
+            n_points=len(series),
+            chunks_total=len(chunks),
+        )
+        self.store.append_submit(record, series, train)
+        obs.incr("jobs.submitted")
+        return record
+
+    def _resolve(self, spec: JobSpec, train: np.ndarray) -> JobSpec:
+        """Pin the window plan into the spec so a resumed job windows
+        the series exactly as the original submission did."""
+        if spec.window_length is not None and spec.stride is not None:
+            return spec
+        from .registry import resolve_plan
+
+        length, stride = resolve_plan(spec.detector, train, spec.params)
+        return replace(
+            spec,
+            window_length=(
+                spec.window_length if spec.window_length is not None else length
+            ),
+            stride=spec.stride if spec.stride is not None else stride,
+        )
+
+    def run(self, job_id: str) -> JobRecord:
+        """Drive a job to a terminal state; resumable and idempotent.
+
+        ``SUCCEEDED`` jobs return immediately.  ``FAILED`` / ``CANCELLED``
+        / stale-``RUNNING`` jobs (a driver that died) re-enter
+        ``RUNNING`` and replay completed chunks from the journal before
+        executing the rest.  Failures are recorded on the job (state
+        ``FAILED`` with an attributed error) rather than raised.
+        """
+        record = self.store.get(job_id)
+        if record.state == SUCCEEDED:
+            return record
+        self.store.clear_cancel(job_id)  # a fresh run supersedes old intent
+        self._transition(record, RUNNING)
+        series = self.store.series(job_id)
+        train = self.store.train(job_id)
+        spec = record.spec
+        with obs.span("jobs.run", job_id=job_id, detector=spec.detector):
+            try:
+                scorer, length, stride = build_scorer(
+                    spec.detector, train, spec.params
+                )
+                if (length, stride) != (spec.window_length, spec.stride):
+                    raise RuntimeError(
+                        f"window plan drifted between submit and run: "
+                        f"submitted ({spec.window_length}, {spec.stride}), "
+                        f"rebuilt ({length}, {stride}) — the registry "
+                        f"builder is not deterministic"
+                    )
+                chunks = plan_chunks(
+                    len(series), length, stride, spec.chunk_windows
+                )
+                outcome = self.executor.run(
+                    self.store, job_id, scorer, series, chunks, length, stride
+                )
+                if outcome == CANCELLED_OUTCOME:
+                    obs.incr("jobs.cancelled")
+                    self._transition(record, CANCELLED)
+                    record.chunks_done = len(self.store.load_chunks(job_id))
+                    return record
+                scores = stitch(
+                    self.store.load_chunks(job_id),
+                    chunks,
+                    length,
+                    stride,
+                    len(series),
+                )
+                self.store.save_result(job_id, scores)
+                obs.incr("jobs.succeeded")
+                self._transition(record, SUCCEEDED)
+            except Exception as error:  # KeyboardInterrupt/SystemExit propagate
+                obs.incr("jobs.failed")
+                self._transition(
+                    record, FAILED, error=f"{type(error).__name__}: {error}"
+                )
+        record.chunks_done = len(self.store.load_chunks(job_id))
+        return record
+
+    def submit_and_run(
+        self,
+        spec: JobSpec,
+        series: np.ndarray,
+        train: np.ndarray | None = None,
+    ) -> JobRecord:
+        """Submit (or dedupe onto an existing job) and drive it to a
+        terminal state — the ``repro submit`` entry point."""
+        return self.run(self.submit(spec, series, train).job_id)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def status(self, job_id: str) -> JobRecord:
+        return self.store.get(job_id)
+
+    def list_jobs(self) -> list[JobRecord]:
+        return list(self.store.load_jobs().values())
+
+    def result(self, job_id: str) -> np.ndarray:
+        """The stitched point-score array of a ``SUCCEEDED`` job."""
+        record = self.store.get(job_id)
+        if record.state != SUCCEEDED:
+            raise RuntimeError(
+                f"job {job_id} is {record.state}, not {SUCCEEDED}"
+                + (f": {record.error}" if record.error else "")
+            )
+        return self.store.load_result(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; returns whether the request took effect.
+
+        ``PENDING`` jobs transition to ``CANCELLED`` immediately; a
+        ``RUNNING`` job (possibly in another process) gets a cooperative
+        marker the executor honors between chunks.  Terminal jobs are
+        left alone.
+        """
+        record = self.store.get(job_id)
+        if record.state in TERMINAL_STATES:
+            return False
+        if record.state == PENDING:
+            self._transition(record, CANCELLED)
+            obs.incr("jobs.cancelled")
+            return True
+        self.store.request_cancel(job_id)
+        return True
+
+    def _transition(self, record: JobRecord, state: str, error: str = "") -> None:
+        self.store.append_state(record.job_id, state, error=error)
+        record.state = state
+        record.error = error

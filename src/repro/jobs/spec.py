@@ -1,0 +1,139 @@
+"""Job descriptions, states, and idempotency keys.
+
+A :class:`JobSpec` is everything needed to *re-create* a bulk-scoring
+run: the detector (by registry name + parameters), the resolved window
+plan, and the chunking granularity.  The spec is persisted next to the
+input arrays at submit time, so a job directory is self-contained — a
+fresh process can resume a half-finished job from its journal without
+the submitting process's memory.
+
+Idempotency keys digest the resolved spec together with the *content*
+of the series and training split (via
+:func:`repro.pipeline.cache.content_key`), so submitting the identical
+payload twice lands on the same job instead of scoring it twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..pipeline.cache import content_key
+
+__all__ = [
+    "PENDING",
+    "RUNNING",
+    "SUCCEEDED",
+    "FAILED",
+    "CANCELLED",
+    "STATES",
+    "TERMINAL_STATES",
+    "JobSpec",
+    "JobRecord",
+    "idempotency_key",
+]
+
+PENDING = "PENDING"
+RUNNING = "RUNNING"
+SUCCEEDED = "SUCCEEDED"
+FAILED = "FAILED"
+CANCELLED = "CANCELLED"
+
+#: Lifecycle: PENDING -> RUNNING -> SUCCEEDED | FAILED | CANCELLED.
+#: CANCELLED can also follow PENDING directly (cancel before run), and a
+#: FAILED/CANCELLED job may re-enter RUNNING on resume — completed
+#: chunks replay from the journal, only the missing ones re-execute.
+STATES = (PENDING, RUNNING, SUCCEEDED, FAILED, CANCELLED)
+TERMINAL_STATES = frozenset({SUCCEEDED, FAILED, CANCELLED})
+
+_TRANSITIONS = {
+    PENDING: {RUNNING, CANCELLED},
+    RUNNING: {SUCCEEDED, FAILED, CANCELLED},
+    # Resume paths: a job that died (or was cancelled) may run again.
+    FAILED: {RUNNING},
+    CANCELLED: {RUNNING},
+    SUCCEEDED: set(),
+}
+
+
+def valid_transition(old: str, new: str) -> bool:
+    """Whether ``old -> new`` is a legal lifecycle edge."""
+    return new in _TRANSITIONS.get(old, set())
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything needed to (re)execute one bulk-scoring job.
+
+    Attributes
+    ----------
+    detector:
+        Name in the job detector registry (:mod:`repro.jobs.registry`).
+    params:
+        Keyword arguments forwarded to the registry builder (epochs,
+        seed, ...).  Must be JSON-serializable.
+    window_length / stride:
+        The resolved window plan.  ``None`` at construction means
+        "derive from the training split at submit time"; the manager
+        stores the *resolved* values so a resumed job windows the series
+        identically.
+    chunk_windows:
+        Windows per chunk — the unit of parallelism, journaling, and
+        failure isolation.
+    """
+
+    detector: str
+    params: dict = field(default_factory=dict)
+    window_length: int | None = None
+    stride: int | None = None
+    chunk_windows: int = 256
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobSpec":
+        known = set(cls.__dataclass_fields__)
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+@dataclass
+class JobRecord:
+    """The mutable lifecycle view of one job, rebuilt from the journal."""
+
+    job_id: str
+    key: str
+    spec: JobSpec
+    state: str = PENDING
+    n_points: int = 0
+    chunks_total: int = 0
+    chunks_done: int = 0
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["spec"] = self.spec.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobRecord":
+        known = set(cls.__dataclass_fields__)
+        fields = {k: v for k, v in payload.items() if k in known}
+        fields["spec"] = JobSpec.from_dict(fields.get("spec", {}))
+        return cls(**fields)
+
+
+def idempotency_key(spec: JobSpec, series: np.ndarray, train: np.ndarray) -> str:
+    """Content digest of (resolved spec, series, train) — identical
+    payloads collide on purpose, so duplicate submits dedupe."""
+    return content_key(
+        "job",
+        spec.detector,
+        tuple(sorted(spec.params.items())),
+        spec.window_length,
+        spec.stride,
+        spec.chunk_windows,
+        np.ascontiguousarray(series, dtype=np.float64),
+        np.ascontiguousarray(train, dtype=np.float64),
+    )

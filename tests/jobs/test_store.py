@@ -1,0 +1,133 @@
+"""Journal persistence: replay, torn writes, exact float round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.jobs import (
+    CANCELLED,
+    PENDING,
+    RUNNING,
+    SUCCEEDED,
+    JobRecord,
+    JobSpec,
+    JobStore,
+)
+
+
+def make_record(job_id="job-abc", state=PENDING) -> JobRecord:
+    return JobRecord(
+        job_id=job_id,
+        key="k" * 32,
+        spec=JobSpec(detector="spectral-residual", window_length=10, stride=5),
+        state=state,
+        n_points=100,
+        chunks_total=3,
+    )
+
+
+def test_submit_then_states_replay(tmp_path):
+    store = JobStore(tmp_path)
+    series = np.arange(100, dtype=np.float64)
+    store.append_submit(make_record(), series, series[:50])
+    store.append_state("job-abc", RUNNING)
+    store.append_state("job-abc", SUCCEEDED)
+
+    jobs = store.load_jobs()
+    assert list(jobs) == ["job-abc"]
+    record = jobs["job-abc"]
+    assert record.state == SUCCEEDED
+    assert record.spec.detector == "spectral-residual"
+    np.testing.assert_array_equal(store.series("job-abc"), series)
+    np.testing.assert_array_equal(store.train("job-abc"), series[:50])
+
+
+def test_get_unknown_job_raises_keyerror(tmp_path):
+    with pytest.raises(KeyError, match="no-such-job"):
+        JobStore(tmp_path).get("no-such-job")
+
+
+def test_torn_trailing_line_skipped_with_warning(tmp_path):
+    store = JobStore(tmp_path)
+    series = np.arange(100, dtype=np.float64)
+    store.append_submit(make_record(), series, series)
+    store.append_state("job-abc", RUNNING)
+    with open(store.journal_path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "state", "job_id": "job-abc", "sta')  # kill -9 here
+
+    with pytest.warns(UserWarning, match="torn write"):
+        jobs = store.load_jobs()
+    assert jobs["job-abc"].state == RUNNING
+
+
+def test_non_object_line_skipped_with_warning(tmp_path):
+    store = JobStore(tmp_path)
+    store.append_submit(make_record(), np.arange(100.0), np.arange(100.0))
+    with open(store.journal_path, "a", encoding="utf-8") as handle:
+        handle.write('["not", "a", "dict"]\n')
+    with pytest.warns(UserWarning, match="non-object"):
+        jobs = store.load_jobs()
+    assert jobs["job-abc"].state == PENDING
+
+
+def test_illegal_transition_ignored(tmp_path):
+    store = JobStore(tmp_path)
+    store.append_submit(make_record(), np.arange(100.0), np.arange(100.0))
+    store.append_state("job-abc", RUNNING)
+    store.append_state("job-abc", SUCCEEDED)
+    store.append_state("job-abc", CANCELLED)  # stale writer: SUCCEEDED is final
+    with pytest.warns(UserWarning, match="illegal"):
+        jobs = store.load_jobs()
+    assert jobs["job-abc"].state == SUCCEEDED
+
+
+def test_chunk_scores_round_trip_bit_identical(tmp_path):
+    store = JobStore(tmp_path)
+    rng = np.random.default_rng(17)
+    scores = rng.standard_normal(37) * 1e-7  # exercise shortest-repr floats
+    store.append_chunk("job-abc", 2, scores)
+    loaded = store.load_chunks("job-abc")
+    assert list(loaded) == [2]
+    assert np.array_equal(loaded[2], scores)
+
+
+def test_chunk_journal_later_lines_win_and_malformed_skipped(tmp_path):
+    store = JobStore(tmp_path)
+    store.append_chunk("job-abc", 0, np.zeros(4))
+    store.append_chunk("job-abc", 0, np.ones(4))
+    path = store.job_dir("job-abc") / "chunks.jsonl"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps({"scores": [1.0]}) + "\n")  # no chunk index
+    with pytest.warns(UserWarning, match="malformed chunk"):
+        loaded = store.load_chunks("job-abc")
+    np.testing.assert_array_equal(loaded[0], np.ones(4))
+
+
+def test_cancel_marker_lifecycle(tmp_path):
+    store = JobStore(tmp_path)
+    assert not store.cancel_requested("job-abc")
+    store.request_cancel("job-abc")
+    assert store.cancel_requested("job-abc")
+    store.clear_cancel("job-abc")
+    assert not store.cancel_requested("job-abc")
+
+
+def test_find_by_key_returns_latest(tmp_path):
+    store = JobStore(tmp_path)
+    series = np.arange(100.0)
+    store.append_submit(make_record("job-old"), series, series)
+    store.append_submit(make_record("job-new"), series, series)
+    assert store.find_by_key("k" * 32).job_id == "job-new"
+    assert store.find_by_key("unknown") is None
+
+
+def test_result_round_trip_and_missing(tmp_path):
+    store = JobStore(tmp_path)
+    scores = np.linspace(0, 1, 50)
+    store.save_result("job-abc", scores)
+    np.testing.assert_array_equal(store.load_result("job-abc"), scores)
+    with pytest.raises(FileNotFoundError):
+        store.load_result("job-other")
