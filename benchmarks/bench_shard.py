@@ -1,0 +1,143 @@
+"""Shard-fabric micro-benchmarks (``BENCH_shard.json`` companions).
+
+The fabric-level claims — 4-worker ingest throughput, p99 round
+latency, and the ``kill -9`` recovery drill — live in
+``scripts/bench_shard.py`` (multiprocessing does not sit well inside
+pytest-benchmark's calibration loops).  This module benches the
+single-process pieces the fabric is built from, so a regression in any
+of them is visible in isolation:
+
+- consistent-hash owner lookup (``HashRing``) — on the hot path of
+  every submitted stream chunk;
+- snapshot payload codec (``payload_to_bytes``/``payload_from_bytes``)
+  — every acked batch serialises one snapshot per touched stream;
+- engine state externalization (``export_stream``/``import_stream``) —
+  the migration/rehydration path;
+- ``ingest_many`` vs per-point ``ingest`` — the vectorised fast path
+  the router feeds chunks through.
+
+Run directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_shard.py \
+        -m bench --benchmark-only
+
+Everything here carries the ``bench`` marker, so tier-1 (`pytest -x -q`)
+never collects it.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.serve.shard import HashRing, WorkerSpec, build_worker_engine
+from repro.serve.stores import payload_from_bytes, payload_to_bytes
+
+pytestmark = pytest.mark.bench
+
+STREAMS = 64
+CHUNK = 64
+
+
+@pytest.fixture(scope="module")
+def spec() -> WorkerSpec:
+    # A production-shaped plan: window 128, stride 32.  The ingest_many
+    # fast path advances one *emission boundary* per iteration, so its
+    # win over per-point ingest scales with the stride.
+    t = np.arange(1600)
+    train = np.sin(2 * np.pi * t / 32)
+    train += 0.03 * np.random.default_rng(5).standard_normal(len(t))
+    return WorkerSpec(
+        detector="spectral-residual",
+        params={"max_window": 128, "seed": 0},
+        train=train,
+        window_length=128,
+        stride=32,
+        engine={"max_batch": 64, "score_baseline": 64, "warmup_scores": 8},
+    )
+
+
+@pytest.fixture(scope="module")
+def feed() -> np.ndarray:
+    rng = np.random.default_rng(7)
+    base = np.sin(2 * np.pi * np.arange(CHUNK * 4) / 32)
+    return base + 0.03 * rng.standard_normal((STREAMS, CHUNK * 4))
+
+
+def warmed_engine(spec, feed):
+    engine = build_worker_engine(spec)
+    for i in range(STREAMS):
+        engine.ingest_many(f"s{i}", feed[i])
+    engine.drain()
+    return engine
+
+
+def test_hash_ring_owner_lookup(benchmark):
+    ring = HashRing([f"w{i}" for i in range(4)])
+    keys = [f"stream/{i}" for i in range(10_000)]
+
+    def lookup():
+        return [ring.owner(key) for key in keys]
+
+    owners = benchmark(lookup)
+    assert len(set(owners)) == 4
+
+
+def test_snapshot_payload_codec_round_trip(spec, feed, benchmark):
+    engine = warmed_engine(spec, feed)
+    payloads = [
+        engine.export_stream(f"s{i}").to_payload() for i in range(STREAMS)
+    ]
+
+    def round_trip():
+        return [
+            payload_from_bytes(payload_to_bytes(payload))
+            for payload in payloads
+        ]
+
+    decoded = benchmark(round_trip)
+    assert len(decoded) == STREAMS
+
+
+def test_engine_state_externalization(spec, feed, benchmark):
+    source = warmed_engine(spec, feed)
+    target = build_worker_engine(spec)
+
+    def migrate_all():
+        for i in range(STREAMS):
+            target.import_stream(source.export_stream(f"s{i}"))
+
+    benchmark(migrate_all)
+    assert len(target.export_streams()) == STREAMS
+
+
+def test_ingest_per_point(spec, feed, benchmark):
+    engine = build_worker_engine(spec)
+    generation = itertools.count()
+
+    def run():
+        prefix = next(generation)
+        for i in range(STREAMS):
+            stream_id = f"g{prefix}/s{i}"
+            for value in feed[i]:
+                engine.ingest(stream_id, float(value))
+        engine.drain()
+
+    benchmark(run)
+    assert engine.report()["windows_scored"] > 0
+
+
+def test_ingest_many_chunks(spec, feed, benchmark):
+    engine = build_worker_engine(spec)
+    generation = itertools.count()
+
+    def run():
+        prefix = next(generation)
+        for i in range(STREAMS):
+            engine.ingest_many(f"g{prefix}/s{i}", feed[i])
+        engine.drain()
+
+    benchmark(run)
+    assert engine.report()["windows_scored"] > 0

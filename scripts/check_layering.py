@@ -18,12 +18,15 @@ growing back.
     7  viz, cli          (presentation; imports lazily anyway)
 
 ``repro.jobs`` additionally faces a *consumer* restriction
-(``RESTRICTED_CONSUMERS``): only ``cli`` may import it, at any scope.
-The job fabric is an orchestration shell around the lower layers —
-letting eval/serve/core reach back into it would create exactly the
-cyclic "everything drives everything" coupling the subsystem was built
-to avoid (eval exposes ``execute_unit`` and jobs drives it, never the
-reverse).
+(``RESTRICTED_CONSUMERS``): only ``cli`` and ``serve`` may import it,
+at any scope.  The job fabric is an orchestration shell around the
+lower layers — letting eval/core reach back into it would create
+exactly the cyclic "everything drives everything" coupling the
+subsystem was built to avoid (eval exposes ``execute_unit`` and jobs
+drives it, never the reverse).  ``serve`` earned the exemption when
+the shard fabric started building worker scorers through the
+string-named ``jobs.registry`` detectors; the import must still be
+function-scoped because serve sits *below* jobs in the layer map.
 
 Note: this order deviates from an idealized "observability above the
 model" stacking — ``core`` instruments itself through ``obs`` and
@@ -31,15 +34,19 @@ guards training through ``runtime``, so both sit *below* it here.  The
 lint encodes the dependency reality and keeps it a DAG.
 
 Within ``repro.serve`` a second, finer map (``SERVE_SUBLAYERS``) keeps
-the serving subsystem itself a DAG now that the adaptive controller
-(``serve.adapt``) sits between the engine and the replay harness:
+the serving subsystem itself a DAG now that the shard fabric sits
+between the engine and the adaptive controller (which offloads
+retrains through it):
 
     0  stream            (ring buffers, per-stream window state)
-    1  drift, registry   (monitors; versioned chain)
-    2  engine            (micro-batching scorer)
-    3  adapt             (drift -> retrain -> promote controller)
-    4  replay            (harness + chaos injectors, drives adapt)
-    5  __init__          (facade)
+    1  stores            (pluggable stream-state store backends)
+    2  drift, registry   (monitors; versioned chain)
+    3  engine            (micro-batching scorer; state externalization)
+    4  shard             (hash ring, worker processes, router)
+    5  adapt             (drift -> retrain -> promote controller)
+    6  supervisor        (fleet health/scaling policy over the router)
+    7  replay            (harness + chaos injectors, drives adapt)
+    8  __init__          (facade)
 
 Packages listed in ``IMPORT_LEAF`` (currently ``nn``) face a stricter
 rule: no ``repro.*`` import at *any* scope — the lazy-import escape
@@ -96,7 +103,7 @@ LAYERS: dict[str, int] = {
 # dependency on it, and even the facade stays clean so ``import repro``
 # never drags in multiprocessing machinery.
 RESTRICTED_CONSUMERS: dict[str, frozenset[str]] = {
-    "jobs": frozenset({"cli"}),
+    "jobs": frozenset({"cli", "serve"}),
 }
 
 # Packages that must stay *import-leaves*: no ``repro.*`` import at ANY
@@ -111,12 +118,15 @@ IMPORT_LEAF = {"nn"}
 # the serving subsystem's own modules (see module docstring).
 SERVE_SUBLAYERS: dict[str, int] = {
     "stream": 0,
-    "drift": 1,
-    "registry": 1,
-    "engine": 2,
-    "adapt": 3,
-    "replay": 4,
-    "__init__": 5,
+    "stores": 1,
+    "drift": 2,
+    "registry": 2,
+    "engine": 3,
+    "shard": 4,
+    "adapt": 5,
+    "supervisor": 6,
+    "replay": 7,
+    "__init__": 8,
 }
 
 

@@ -31,6 +31,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -178,6 +179,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metrics-out", type=Path, default=None,
                          help="export observability metrics recorded during "
                               "the replay as JSONL")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="replay through the sharded multi-worker "
+                              "fabric instead of the in-process engine "
+                              "(docs/SHARDING.md); incompatible with "
+                              "--adapt/--chaos/--fail-primary")
+
+    p_shard = sub.add_parser(
+        "serve-shard",
+        help="drive the sharded serving fabric over a synthetic stream fleet",
+    )
+    p_shard.add_argument("--dataset", type=str, default="4",
+                         help="archive index, or path to a real UCR file")
+    p_shard.add_argument("--detector", type=str, default="spectral-residual",
+                         help="jobs.registry detector name each worker "
+                              "builds its scorer from")
+    p_shard.add_argument("--workers", type=int, default=4,
+                         help="worker processes on the hash ring")
+    p_shard.add_argument("--streams", type=int, default=64,
+                         help="concurrent streams to simulate")
+    p_shard.add_argument("--chunk", type=int, default=128,
+                         help="points per stream per submit round")
+    p_shard.add_argument("--store", choices=["memory", "file", "shm"],
+                         default="memory",
+                         help="stream-state store backend")
+    p_shard.add_argument("--store-dir", type=Path, default=None,
+                         help="directory for --store file (default: a "
+                              "temporary directory)")
+    p_shard.add_argument("--max-window", type=int, default=128,
+                         help="window-length cap for the detector plan")
+    p_shard.add_argument("--kill-worker", action="store_true",
+                         help="chaos drill: SIGKILL one worker mid-run and "
+                              "let the supervisor heal it")
+    p_shard.add_argument("--seed", type=int, default=0)
+    p_shard.add_argument("--json", type=Path, default=None,
+                         help="also write the fabric report as JSON")
 
     p_submit = sub.add_parser(
         "submit", help="submit a resumable bulk-scoring job and run it"
@@ -472,6 +508,107 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _make_store(kind: str, directory=None):
+    """Build a stream-state store backend for the shard fabric."""
+    from .serve import FileBackedStore, InMemoryStore, SharedMemoryStore
+
+    if kind == "file":
+        import tempfile
+
+        return FileBackedStore(directory or tempfile.mkdtemp(prefix="repro-shard-"))
+    if kind == "shm":
+        return SharedMemoryStore(f"repro-shard-{os.getpid()}")
+    return InMemoryStore()
+
+
+def _run_sharded_replay(
+    dataset,
+    spec,
+    workers: int,
+    streams: int,
+    chunk: int,
+    store_kind: str = "memory",
+    store_dir=None,
+    kill_worker: bool = False,
+    json_out=None,
+) -> int:
+    """Feed ``dataset.test`` as N identical streams through the fabric."""
+    import json as json_module
+    import time as time_module
+
+    from .serve import ShardSupervisor
+
+    series = np.asarray(dataset.test, dtype=np.float64)
+    ids = [f"{dataset.name}#{i}" for i in range(streams)]
+    rounds = max((len(series) + chunk - 1) // chunk, 1)
+    kill_round = rounds // 2
+    alerts = 0
+    with ShardSupervisor(
+        spec, workers=workers, store=_make_store(store_kind, store_dir)
+    ) as supervisor:
+        start_time = time_module.perf_counter()
+        for round_index, start in enumerate(range(0, len(series), chunk)):
+            if kill_worker and round_index == kill_round:
+                victim = supervisor.router.workers[0]
+                pid = supervisor.kill_worker(victim)
+                print(f"chaos: SIGKILLed worker {victim} (pid {pid})")
+            batch = [(sid, series[start : start + chunk]) for sid in ids]
+            alerts += len(supervisor.submit(batch))
+        duration = time_module.perf_counter() - start_time
+        report = supervisor.report()
+    points = len(series) * len(ids)
+    print(f"\nsharded replay: {points} points over {len(ids)} streams, "
+          f"{workers} workers, store={store_kind}")
+    print(f"  throughput: {points / max(duration, 1e-9):,.0f} points/s "
+          f"({duration:.2f}s)")
+    print(f"  alerts: {alerts}   respawns: {report['respawns']}   "
+          f"heals: {report['heals']}")
+    for name, ring_count in sorted(report["ring"].items()):
+        worker = report["workers"].get(name, {})
+        scored = worker.get("windows_scored", "?")
+        print(f"  {name}: {ring_count} streams, {scored} windows scored")
+    if json_out is not None:
+        payload = {
+            "points": points,
+            "streams": len(ids),
+            "workers": workers,
+            "store": store_kind,
+            "duration_s": duration,
+            "alerts": alerts,
+            "report": report,
+        }
+        json_out.write_text(
+            json_module.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote fabric report to {json_out}")
+    return 0
+
+
+def _cmd_serve_shard(args) -> int:
+    from .serve import WorkerSpec
+
+    dataset = _load_dataset(args.dataset)
+    print(f"dataset {dataset.name}: test={len(dataset.test)} "
+          f"streams={args.streams} workers={args.workers} "
+          f"detector={args.detector}")
+    spec = WorkerSpec(
+        detector=args.detector,
+        params={"max_window": args.max_window, "seed": args.seed},
+        train=np.asarray(dataset.train, dtype=np.float64),
+    )
+    return _run_sharded_replay(
+        dataset,
+        spec,
+        workers=args.workers,
+        streams=args.streams,
+        chunk=args.chunk,
+        store_kind=args.store,
+        store_dir=args.store_dir,
+        kill_worker=args.kill_worker,
+        json_out=args.json,
+    )
+
+
 def _cmd_serve_replay(args) -> int:
     import json as json_module
 
@@ -484,6 +621,14 @@ def _cmd_serve_replay(args) -> int:
     dataset = _load_dataset(args.dataset)
     print(f"dataset {dataset.name}: test={len(dataset.test)} "
           f"streams={args.streams}")
+
+    if args.workers > 1 and (
+        args.adapt or args.chaos is not None or args.fail_primary is not None
+    ):
+        print("--workers is incompatible with --adapt/--chaos/--fail-primary "
+              "(the sharded fabric runs plain scoring; see docs/SHARDING.md)",
+              file=sys.stderr)
+        return 2
 
     config = TriADConfig(
         epochs=args.epochs, seed=args.seed, max_window=args.max_window
@@ -499,6 +644,33 @@ def _cmd_serve_replay(args) -> int:
     elif args.epochs > 0:
         detector = TriAD(config).fit(dataset.train)
         print(f"trained TriAD primary ({args.epochs} epochs)")
+
+    if args.workers > 1:
+        import tempfile
+
+        from .core import save_detector
+        from .serve import WorkerSpec
+
+        if detector is not None:
+            detector_path = Path(tempfile.mkdtemp(prefix="repro-shard-")) / "primary.npz"
+            save_detector(detector, detector_path)
+            spec = WorkerSpec(detector_file=str(detector_path))
+            print(f"workers load the fitted primary from {detector_path}")
+        else:
+            spec = WorkerSpec(
+                detector="spectral-residual",
+                params={"max_window": args.max_window, "seed": args.seed},
+                train=np.asarray(dataset.train, dtype=np.float64),
+            )
+            print("workers build the training-free spectral-residual scorer")
+        return _run_sharded_replay(
+            dataset,
+            spec,
+            workers=args.workers,
+            streams=args.streams,
+            chunk=256,
+            json_out=args.json,
+        )
     if detector is not None:
         plan = detector.plan
     else:
@@ -796,6 +968,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "report": _cmd_report,
         "serve-replay": _cmd_serve_replay,
+        "serve-shard": _cmd_serve_shard,
         "tune": _cmd_tune,
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,

@@ -7,9 +7,12 @@ versioned model registry with hot-swap and a graceful-degradation chain
 admission control (:mod:`repro.serve.engine`), online drift monitors
 (:mod:`repro.serve.drift`), a self-healing adaptive controller closing
 the drift -> retrain -> promote loop (:mod:`repro.serve.adapt`, see
-``docs/ADAPTIVE.md``), and a labelled-replay harness with chaos
+``docs/ADAPTIVE.md``), a labelled-replay harness with chaos
 injectors (:mod:`repro.serve.replay`, surfaced as ``repro
-serve-replay``).
+serve-replay``), and a sharded multi-worker fabric with pluggable
+stream-state stores (:mod:`repro.serve.stores`,
+:mod:`repro.serve.shard`, :mod:`repro.serve.supervisor`, surfaced as
+``repro serve-shard`` — see ``docs/SHARDING.md``).
 
 Quick start::
 
@@ -57,9 +60,39 @@ from .replay import (
     build_registry,
     replay_dataset,
 )
+from .shard import (
+    HashRing,
+    RecordingEngine,
+    ShardRouter,
+    WorkerDiedError,
+    WorkerSpec,
+    build_worker_engine,
+    subprocess_trainer,
+)
+from .stores import (
+    FileBackedStore,
+    InMemoryStore,
+    SharedMemoryStore,
+    StoreProvider,
+    StreamSnapshot,
+)
 from .stream import ReadyWindow, RingBuffer, StreamState
+from .supervisor import ShardSupervisor
 
 __all__ = [
+    "HashRing",
+    "RecordingEngine",
+    "ShardRouter",
+    "ShardSupervisor",
+    "WorkerDiedError",
+    "WorkerSpec",
+    "build_worker_engine",
+    "subprocess_trainer",
+    "StoreProvider",
+    "StreamSnapshot",
+    "InMemoryStore",
+    "FileBackedStore",
+    "SharedMemoryStore",
     "AdaptConfig",
     "AdaptationDecision",
     "AdaptationJournal",

@@ -140,6 +140,42 @@ class ScoreShiftMonitor:
         self._recent.pop(stream_id, None)
         self._quiet_until.pop(stream_id, None)
 
+    def drop(self, stream_id: str) -> None:
+        """Forget the stream entirely (it migrated to another worker)."""
+        self.reset(stream_id)
+        self._seen.pop(stream_id, None)
+
+    def snapshot_stream(self, stream_id: str) -> dict | None:
+        """Exact per-stream state for :mod:`repro.serve.stores`."""
+        state: dict = {}
+        if stream_id in self._reference:
+            state["reference"] = [float(v) for v in self._reference[stream_id]]
+        if stream_id in self._frozen:
+            state["frozen"] = [float(v) for v in self._frozen[stream_id]]
+        if stream_id in self._recent:
+            state["recent"] = self._recent[stream_id].snapshot()
+        if stream_id in self._quiet_until:
+            state["quiet_until"] = self._quiet_until[stream_id]
+        if stream_id in self._seen:
+            state["seen"] = self._seen[stream_id]
+        return state or None
+
+    def restore_stream(self, stream_id: str, state: dict) -> None:
+        """Inverse of :meth:`snapshot_stream`: future updates behave as
+        if the stream never left this monitor."""
+        self.drop(stream_id)
+        if "reference" in state:
+            self._reference[stream_id] = [float(v) for v in state["reference"]]
+        if "frozen" in state:
+            mean, std = state["frozen"]
+            self._frozen[stream_id] = (float(mean), float(std))
+        if "recent" in state:
+            self._recent[stream_id] = RingBuffer.from_snapshot(state["recent"])
+        if "quiet_until" in state:
+            self._quiet_until[stream_id] = int(state["quiet_until"])
+        if "seen" in state:
+            self._seen[stream_id] = int(state["seen"])
+
     def reset_all(self) -> None:
         """Forget every stream's reference (after a model change the
         score scale — and thus every frozen reference — is stale)."""
@@ -203,6 +239,23 @@ class PeriodChangeMonitor:
         a stale pre-retrain window immediately re-signalling."""
         self._buffers.pop(stream_id, None)
         self._quiet.pop(stream_id, None)
+
+    def snapshot_stream(self, stream_id: str) -> dict | None:
+        """Exact per-stream state for :mod:`repro.serve.stores`."""
+        state: dict = {}
+        if stream_id in self._buffers:
+            state["buffer"] = self._buffers[stream_id].snapshot()
+        if stream_id in self._quiet:
+            state["quiet"] = self._quiet[stream_id]
+        return state or None
+
+    def restore_stream(self, stream_id: str, state: dict) -> None:
+        """Inverse of :meth:`snapshot_stream`."""
+        self.reset(stream_id)
+        if "buffer" in state:
+            self._buffers[stream_id] = RingBuffer.from_snapshot(state["buffer"])
+        if "quiet" in state:
+            self._quiet[stream_id] = int(state["quiet"])
 
 
 class DriftMonitor:
@@ -270,6 +323,42 @@ class DriftMonitor:
             if signal.stream_id == stream_id:
                 return signal
         return None
+
+    def snapshot_stream(self, stream_id: str) -> dict | None:
+        """Exact per-stream drift state (both monitors + retrain flag)
+        for externalization through :mod:`repro.serve.stores`."""
+        state: dict = {}
+        if self.score_monitor is not None:
+            score = self.score_monitor.snapshot_stream(stream_id)
+            if score is not None:
+                state["score"] = score
+        if self.period_monitor is not None:
+            period = self.period_monitor.snapshot_stream(stream_id)
+            if period is not None:
+                state["period"] = period
+        if stream_id in self.flagged_streams:
+            state["flagged"] = True
+        return state or None
+
+    def restore_stream(self, stream_id: str, state: dict) -> None:
+        """Inverse of :meth:`snapshot_stream`: the stream continues on
+        this monitor exactly as it would have on its previous one."""
+        self.drop_stream(stream_id)
+        if self.score_monitor is not None and "score" in state:
+            self.score_monitor.restore_stream(stream_id, state["score"])
+        if self.period_monitor is not None and "period" in state:
+            self.period_monitor.restore_stream(stream_id, state["period"])
+        if state.get("flagged"):
+            self.flagged_streams.add(stream_id)
+
+    def drop_stream(self, stream_id: str) -> None:
+        """Forget a stream entirely (it migrated to another worker).
+        Past emitted ``signals`` are history and are kept."""
+        self.flagged_streams.discard(stream_id)
+        if self.score_monitor is not None:
+            self.score_monitor.drop(stream_id)
+        if self.period_monitor is not None:
+            self.period_monitor.reset(stream_id)
 
     def acknowledge(self, stream_id: str) -> None:
         """Clear the retrain flag (the operator or the adaptive

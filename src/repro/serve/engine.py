@@ -36,6 +36,7 @@ from .. import obs
 from ..obs.metrics import Histogram
 from .drift import DriftMonitor
 from .registry import ModelEntry, ModelRegistry
+from .stores import StreamSnapshot
 from .stream import ReadyWindow, RingBuffer, StreamState
 
 __all__ = ["EngineConfig", "StreamAlert", "ScoringEngine"]
@@ -88,6 +89,18 @@ class EngineConfig:
             raise ValueError("queue_capacity must be >= 1")
         if self.warmup_scores < 1:
             raise ValueError("warmup_scores must be >= 1")
+        if self.score_baseline < 1:
+            raise ValueError("score_baseline must be >= 1")
+        if self.warmup_scores > self.score_baseline:
+            raise ValueError(
+                f"warmup_scores ({self.warmup_scores}) cannot exceed "
+                f"score_baseline ({self.score_baseline}): the baseline "
+                f"ring can never bank enough scores to finish warmup"
+            )
+        if self.alert_sigma <= 0:
+            raise ValueError("alert_sigma must be > 0")
+        if self.min_spread < 0:
+            raise ValueError("min_spread must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -178,6 +191,9 @@ class ScoringEngine:
         ready = state.push(value)
         if ready is None:
             return []
+        return self._enqueue(ready)
+
+    def _enqueue(self, ready: ReadyWindow) -> list[StreamAlert]:
         if len(self._queue) >= self.config.queue_capacity:
             # Admission control: shed the *oldest* pending window so the
             # freshest data is still scored; never block the stream.
@@ -190,10 +206,41 @@ class ScoringEngine:
         return []
 
     def ingest_many(self, stream_id: str, values) -> list[StreamAlert]:
-        """Feed a chunk of points from one stream."""
-        alerts: list[StreamAlert] = []
-        for value in values:
-            alerts.extend(self.ingest(stream_id, value))
+        """Feed a chunk of points from one stream.
+
+        Without a drift monitor the chunk takes a vectorised fast path:
+        points are appended via :meth:`~repro.serve.stream.StreamState.
+        extend` in slices sized to the next emission boundary, so the
+        Python-level work is one loop iteration per *window* instead of
+        per point.  Queueing, shedding, flush cadence, scores, and
+        alerts are identical to the per-point loop (gated by
+        ``tests/serve/test_engine.py``).  With a drift monitor attached
+        the per-point path is kept — ``observe_point`` is a per-point
+        contract.
+        """
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if self.drift is not None:
+            alerts: list[StreamAlert] = []
+            for value in values:
+                alerts.extend(self.ingest(stream_id, value))
+            return alerts
+        if len(values) == 0:
+            return []
+        state = self._streams.get(stream_id)
+        if state is None:
+            state = self._streams[stream_id] = StreamState(
+                stream_id, self.config.window_length, self.config.stride
+            )
+        self.stats.points_ingested += len(values)
+        alerts = []
+        position = 0
+        total = len(values)
+        while position < total:
+            take = min(total - position, state.until_next_emit)
+            ready = state.extend(values[position : position + take])
+            position += take
+            if ready is not None:
+                alerts.extend(self._enqueue(ready))
         return alerts
 
     # ------------------------------------------------------------------
@@ -267,6 +314,86 @@ class ScoringEngine:
             self._baselines.clear()
         else:
             self._baselines.pop(stream_id, None)
+
+    # ------------------------------------------------------------------
+    # State externalization (the shard fabric's contract)
+    # ------------------------------------------------------------------
+    def export_stream(self, stream_id: str, evict: bool = False) -> StreamSnapshot | None:
+        """Capture one stream's full state as a :class:`StreamSnapshot`.
+
+        Covers the sliding-window state, the alert baseline ring, and
+        the drift monitor's per-stream references — everything another
+        engine needs to continue the stream with bit-identical windows
+        and alert decisions.  Callers should :meth:`drain` first so no
+        windows of the stream are pending; with ``evict=True`` the
+        stream is removed from this engine (migration), and any windows
+        of it still queued are dropped and counted as shed.
+        """
+        state = self._streams.get(stream_id)
+        if state is None:
+            return None
+        baseline = self._baselines.get(stream_id)
+        snapshot = StreamSnapshot(
+            stream_id=stream_id,
+            stream=state.snapshot(),
+            baseline=baseline.snapshot() if baseline is not None else None,
+            drift=(
+                self.drift.snapshot_stream(stream_id)
+                if self.drift is not None
+                else None
+            ),
+        )
+        if evict:
+            self.remove_stream(stream_id)
+        return snapshot
+
+    def export_streams(
+        self, stream_ids=None, evict: bool = False
+    ) -> list[StreamSnapshot]:
+        """Export many streams (all known ones by default)."""
+        if stream_ids is None:
+            stream_ids = self.streams
+        snapshots = []
+        for stream_id in stream_ids:
+            snapshot = self.export_stream(stream_id, evict=evict)
+            if snapshot is not None:
+                snapshots.append(snapshot)
+        return snapshots
+
+    def import_stream(self, snapshot: StreamSnapshot) -> None:
+        """Adopt a stream exported by another engine.
+
+        Replaces any local state the stream already has.  Future pushes
+        emit the exact windows the source engine would have emitted, and
+        the alert baseline continues on the source's banked scores.
+        """
+        stream_id = snapshot.stream_id
+        self._streams[stream_id] = StreamState.from_snapshot(snapshot.stream)
+        if snapshot.baseline is not None:
+            self._baselines[stream_id] = RingBuffer.from_snapshot(snapshot.baseline)
+        else:
+            self._baselines.pop(stream_id, None)
+        if self.drift is not None:
+            if snapshot.drift is not None:
+                self.drift.restore_stream(stream_id, snapshot.drift)
+            else:
+                self.drift.drop_stream(stream_id)
+
+    def remove_stream(self, stream_id: str) -> None:
+        """Forget a stream entirely (it migrated away or closed)."""
+        self._streams.pop(stream_id, None)
+        self._baselines.pop(stream_id, None)
+        if self.drift is not None:
+            self.drift.drop_stream(stream_id)
+        pending = len(self._queue)
+        if pending:
+            self._queue = deque(
+                ready for ready in self._queue if ready.stream_id != stream_id
+            )
+            dropped = pending - len(self._queue)
+            if dropped:
+                self.stats.shed += dropped
+                obs.incr("serve.windows_shed", dropped)
 
     def _adapt_batch_limit(self, elapsed: float) -> None:
         budget = self.config.latency_budget_s

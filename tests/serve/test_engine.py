@@ -302,3 +302,126 @@ class TestPromotionCalibration:
         spike_alerts.extend(engine.drain())
         assert spike_alerts
         assert all(a.model == "m@v1" for a in spike_alerts)
+
+
+class TestEngineConfigValidation:
+    def test_valid_config_accepts_boundaries(self):
+        EngineConfig(window_length=2, stride=1, score_baseline=4,
+                     warmup_scores=4, alert_sigma=0.5, min_spread=0.0)
+
+    @pytest.mark.parametrize("overrides", [
+        {"score_baseline": 0},
+        {"alert_sigma": 0.0},
+        {"alert_sigma": -1.0},
+        {"min_spread": -1e-12},
+        {"warmup_scores": 20, "score_baseline": 10},
+        {"warmup_scores": 0},
+    ])
+    def test_rejects_unusable_alert_settings(self, overrides):
+        with pytest.raises(ValueError):
+            EngineConfig(window_length=16, stride=4, **overrides)
+
+
+class TestIngestManyFastPath:
+    def _spiked_feed(self, rng, streams=4, points=300):
+        feed = {f"s{i}": rng.normal(size=points) for i in range(streams)}
+        feed["s1"][200:210] += 8.0  # make alerts actually fire
+        return feed
+
+    @pytest.mark.parametrize("chunk", [1, 3, 37, 100, 300])
+    def test_chunked_equals_per_point(self, rng, chunk):
+        feed = self._spiked_feed(rng)
+        baseline_engine, _ = make_engine(RecordingScorer(), max_batch=8)
+        chunked_engine, _ = make_engine(RecordingScorer(), max_batch=8)
+        per_point, chunked = [], []
+        for stream, values in feed.items():
+            for value in values:
+                per_point.extend(baseline_engine.ingest(stream, float(value)))
+        per_point.extend(baseline_engine.drain())
+        for stream, values in feed.items():
+            for start in range(0, len(values), chunk):
+                chunked.extend(
+                    chunked_engine.ingest_many(stream, values[start:start + chunk])
+                )
+        chunked.extend(chunked_engine.drain())
+
+        key = lambda alerts: [
+            (a.stream_id, a.index, a.score, a.threshold) for a in alerts
+        ]
+        assert sorted(key(per_point)) == sorted(key(chunked))
+        assert (
+            baseline_engine.stats.windows_scored
+            == chunked_engine.stats.windows_scored > 0
+        )
+        assert (
+            baseline_engine.stats.points_ingested
+            == chunked_engine.stats.points_ingested
+        )
+
+    def test_empty_chunk_is_a_noop(self, rng):
+        engine, _ = make_engine(RecordingScorer())
+        assert engine.ingest_many("s", np.array([])) == []
+        assert engine.stats.points_ingested == 0
+
+    def test_drift_monitor_still_sees_every_point(self, rng):
+        from repro.serve.drift import DriftMonitor, PeriodChangeMonitor
+
+        registry = ModelRegistry()
+        registry.register(RecordingScorer())
+        drift = DriftMonitor(period_monitor=PeriodChangeMonitor(16))
+        engine = ScoringEngine(
+            registry,
+            EngineConfig(window_length=16, stride=4, warmup_scores=4),
+            drift=drift,
+        )
+        values = rng.normal(size=400)
+        engine.ingest_many("s", values)
+        buffers = drift.period_monitor._buffers
+        assert "s" in buffers and len(buffers["s"]) > 0
+
+
+class TestStreamExternalization:
+    def test_export_import_round_trip_is_bit_identical(self, rng):
+        feed = {f"s{i}": rng.normal(size=260) for i in range(3)}
+        feed["s0"][200:240] += 9.0
+        source, _ = make_engine(RecordingScorer(), max_batch=8)
+        resumed, _ = make_engine(RecordingScorer(), max_batch=8)
+        uninterrupted, _ = make_engine(RecordingScorer(), max_batch=8)
+
+        for stream, values in feed.items():
+            source.ingest_many(stream, values[:130])
+            uninterrupted.ingest_many(stream, values[:130])
+        source.drain()
+        uninterrupted.drain()
+
+        for snapshot in source.export_streams(evict=True):
+            resumed.import_stream(snapshot)
+        assert source.streams == []
+
+        continued, reference = [], []
+        for stream, values in feed.items():
+            continued.extend(resumed.ingest_many(stream, values[130:]))
+            reference.extend(uninterrupted.ingest_many(stream, values[130:]))
+        continued.extend(resumed.drain())
+        reference.extend(uninterrupted.drain())
+
+        key = lambda alerts: sorted(
+            (a.stream_id, a.index, a.score, a.threshold) for a in alerts
+        )
+        assert key(continued) == key(reference)
+        assert len(key(reference)) > 0
+
+    def test_export_unknown_stream_returns_none(self):
+        engine, _ = make_engine(RecordingScorer())
+        assert engine.export_stream("ghost") is None
+
+    def test_remove_stream_drops_queued_windows_as_shed(self, rng):
+        engine, _ = make_engine(RecordingScorer(), max_batch=64)
+        engine.ingest_many("doomed", rng.normal(size=40))
+        engine.ingest_many("kept", rng.normal(size=40))
+        assert engine.queue_depth > 0
+        before = engine.stats.shed
+        engine.remove_stream("doomed")
+        assert engine.stats.shed > before
+        assert all(r.stream_id == "kept" for r in engine._queue)
+        assert "doomed" not in engine.streams

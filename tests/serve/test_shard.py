@@ -1,0 +1,302 @@
+"""Tests for the shard fabric: hash ring, worker engines, router
+parity, migration, and off-path retraining (repro.serve.shard)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.shard import (
+    HashRing,
+    RecordingEngine,
+    ShardRouter,
+    WorkerSpec,
+    build_worker_engine,
+    subprocess_trainer,
+)
+from repro.serve.stores import InMemoryStore
+
+
+# ----------------------------------------------------------------------
+# Shared scenario: a small spectral-residual spec plus a spiked feed so
+# the runs produce real alerts, not just zero-alert score streams.
+# ----------------------------------------------------------------------
+def make_spec(record_scores: bool = True) -> WorkerSpec:
+    t = np.arange(800)
+    train = np.sin(2 * np.pi * t / 32)
+    train += 0.03 * np.random.default_rng(5).standard_normal(len(t))
+    return WorkerSpec(
+        detector="spectral-residual",
+        params={"max_window": 64, "seed": 0},
+        train=train,
+        window_length=32,
+        stride=8,
+        engine={"max_batch": 16, "score_baseline": 64, "warmup_scores": 8},
+        record_scores=record_scores,
+    )
+
+
+def make_feed(streams: int = 6, length: int = 480) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(77)
+    t = np.arange(length)
+    feed = {}
+    for i in range(streams):
+        series = np.sin(2 * np.pi * (t + 7 * i) / 32)
+        series += 0.03 * rng.standard_normal(length)
+        if i % 2 == 0:
+            series[length // 2 : length // 2 + 6] += 6.0
+        feed[f"stream-{i}"] = series
+    return feed
+
+
+def run_unsharded(spec: WorkerSpec, feed, chunk: int = 64):
+    """Reference run: one engine, same chunk cadence as the router."""
+    engine = build_worker_engine(spec)
+    assert isinstance(engine, RecordingEngine)
+    alerts = []
+    length = max(len(series) for series in feed.values())
+    for position in range(0, length, chunk):
+        for stream_id, series in feed.items():
+            alerts.extend(
+                engine.ingest_many(stream_id, series[position : position + chunk])
+            )
+        alerts.extend(engine.drain())
+    return sorted(engine.take_records()), sorted(
+        (a.stream_id, a.index, a.score) for a in alerts
+    )
+
+
+def run_rounds(router: ShardRouter, feed, chunk: int = 64, hooks=None):
+    """Drive the router round by round; ``hooks[round] -> callable``."""
+    alerts, records = [], []
+    length = max(len(series) for series in feed.values())
+    rounds = range(0, length, chunk)
+    for round_index, position in enumerate(rounds):
+        if hooks and round_index in hooks:
+            hooks[round_index](router)
+        items = [
+            (stream_id, series[position : position + chunk])
+            for stream_id, series in feed.items()
+        ]
+        alerts.extend(router.submit(items))
+        records.extend(router.last_records)
+    return sorted(records), sorted(
+        (a.stream_id, a.index, a.score) for a in alerts
+    )
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        keys = [f"k{i}" for i in range(200)]
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w2", "w0", "w1"])  # insertion order must not matter
+        assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+    def test_join_moves_keys_only_to_the_new_node(self):
+        keys = [f"stream/{i}" for i in range(500)]
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {k: ring.owner(k) for k in keys}
+        ring.add_node("w3")
+        moved = {k for k in keys if ring.owner(k) != before[k]}
+        assert 0 < len(moved) < len(keys)
+        assert all(ring.owner(k) == "w3" for k in moved)
+
+    def test_leave_restores_prior_ownership_exactly(self):
+        keys = [f"stream/{i}" for i in range(500)]
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {k: ring.owner(k) for k in keys}
+        ring.add_node("w3")
+        ring.remove_node("w3")
+        assert {k: ring.owner(k) for k in keys} == before
+
+    def test_leave_moves_only_the_departed_nodes_keys(self):
+        keys = [f"stream/{i}" for i in range(500)]
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        before = {k: ring.owner(k) for k in keys}
+        ring.remove_node("w1")
+        for key in keys:
+            if before[key] != "w1":
+                assert ring.owner(key) == before[key]
+            else:
+                assert ring.owner(key) != "w1"
+
+    def test_every_node_gets_a_fair_share(self):
+        keys = [f"stream/{i}" for i in range(3000)]
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        counts = {n: len(ids) for n, ids in ring.assignments(keys).items()}
+        assert set(counts) == {"w0", "w1", "w2", "w3"}
+        assert min(counts.values()) > 0.5 * (len(keys) / 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(vnodes=0)
+        ring = HashRing(["w0"])
+        with pytest.raises(ValueError, match="already"):
+            ring.add_node("w0")
+        with pytest.raises(KeyError):
+            ring.remove_node("nope")
+        with pytest.raises(RuntimeError, match="no nodes"):
+            HashRing().owner("k")
+
+
+class TestBuildWorkerEngine:
+    def test_needs_train_series_without_detector_file(self):
+        with pytest.raises(ValueError, match="train"):
+            build_worker_engine(WorkerSpec(detector="spectral-residual"))
+
+    def test_builds_recording_engine_on_request(self):
+        plain = build_worker_engine(make_spec(record_scores=False))
+        recording = build_worker_engine(make_spec(record_scores=True))
+        assert not isinstance(plain, RecordingEngine)
+        assert isinstance(recording, RecordingEngine)
+        assert recording.config.window_length == 32
+        assert recording.config.stride == 8
+
+
+class TestShardedParity:
+    def test_sharded_run_matches_unsharded_bit_for_bit(self):
+        spec = make_spec()
+        feed = make_feed()
+        want_records, want_alerts = run_unsharded(spec, feed)
+        with ShardRouter(spec, workers=3, store=InMemoryStore()) as router:
+            got_records, got_alerts = run_rounds(router, feed)
+        assert got_records == want_records
+        assert len(want_records) > 0
+        assert got_alerts == want_alerts
+        assert len(want_alerts) > 0
+
+    def test_store_holds_every_acked_stream(self):
+        spec = make_spec(record_scores=False)
+        feed = make_feed(streams=4)
+        store = InMemoryStore()
+        with ShardRouter(spec, workers=2, store=store) as router:
+            run_rounds(router, feed)
+            assert store.stream_ids() == sorted(feed)
+            assert router.known_streams == sorted(feed)
+
+    def test_report_covers_every_worker(self):
+        spec = make_spec(record_scores=False)
+        with ShardRouter(spec, workers=2, store=InMemoryStore()) as router:
+            run_rounds(router, make_feed(streams=3, length=96))
+            report = router.report()
+        assert sorted(report["workers"]) == ["w0", "w1"]
+        assert all(w["alive"] for w in report["workers"].values())
+        assert report["streams"] == 3
+        assert sum(report["ring"].values()) == 3
+
+
+class TestMigration:
+    def test_scale_out_and_in_mid_stream_is_bit_identical(self):
+        spec = make_spec()
+        feed = make_feed()
+        want_records, want_alerts = run_unsharded(spec, feed)
+        hooks = {
+            3: lambda r: r.add_worker("w2"),
+            5: lambda r: r.remove_worker("w0"),
+        }
+        with ShardRouter(spec, workers=2, store=InMemoryStore()) as router:
+            got_records, got_alerts = run_rounds(router, feed, hooks=hooks)
+        assert got_records == want_records
+        assert got_alerts == want_alerts
+
+    def test_join_migrates_exactly_the_reassigned_streams(self):
+        spec = make_spec(record_scores=False)
+        feed = make_feed(streams=12, length=96)
+        with ShardRouter(spec, workers=2, store=InMemoryStore()) as router:
+            run_rounds(router, feed)
+            before = {
+                sid: router.ring.owner(sid) for sid in router.known_streams
+            }
+            moved = router.add_worker("w2")
+            assert moved == sorted(
+                sid for sid in before if router.ring.owner(sid) != before[sid]
+            )
+            assert all(router.ring.owner(sid) == "w2" for sid in moved)
+
+    def test_cannot_remove_the_last_worker(self):
+        spec = make_spec(record_scores=False)
+        with ShardRouter(spec, workers=1, store=InMemoryStore()) as router:
+            with pytest.raises(ValueError, match="last worker"):
+                router.remove_worker("w0")
+
+
+class TestSubprocessTrainer:
+    def test_offloaded_scorer_matches_inline(self, noisy_wave):
+        from repro.serve.adapt import moment_trainer
+
+        factory = moment_trainer()
+        inline = factory(noisy_wave[:800], 3)
+        offloaded = subprocess_trainer(factory)(noisy_wave[:800], 3)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            noisy_wave[800:1000], 32
+        )[::8].copy()
+        np.testing.assert_array_equal(
+            inline.score_windows(windows, None),
+            offloaded.score_windows(windows, None),
+        )
+
+    def test_unpicklable_scorer_falls_back_inline(self):
+        calls = []
+
+        def trainer(train_series, seed):
+            calls.append(seed)
+            return lambda w, b: np.zeros(len(w))  # lambdas don't pickle
+
+        scorer = subprocess_trainer(trainer)(np.zeros(64), 1)
+        # once in the child (discarded), once inline in the parent
+        assert calls == [1]
+        assert scorer(np.zeros((3, 4)), None).shape == (3,)
+
+    def test_child_error_propagates(self):
+        def trainer(train_series, seed):
+            raise RuntimeError("bad fit")
+
+        with pytest.raises(RuntimeError, match="bad fit"):
+            subprocess_trainer(trainer)(np.zeros(64), 1)
+
+
+class TestServeShardCLI:
+    def test_run_with_file_store_and_chaos_writes_report(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "fabric.json"
+        code = main([
+            "serve-shard", "--dataset", "4", "--workers", "2",
+            "--streams", "4", "--chunk", "512", "--store", "file",
+            "--store-dir", str(tmp_path / "store"), "--kill-worker",
+            "--json", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "sharded replay" in stdout and "chaos: SIGKILL" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["streams"] == 4 and payload["workers"] == 2
+        assert payload["report"]["respawns"] == 1
+        assert payload["report"]["heals"] >= 1
+        assert sum(payload["report"]["ring"].values()) == 4
+
+    def test_serve_replay_routes_through_the_fabric(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "fabric.json"
+        code = main([
+            "serve-replay", "--dataset", "4", "--epochs", "0",
+            "--workers", "2", "--streams", "2", "--json", str(out),
+        ])
+        assert code == 0
+        assert "sharded replay" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["workers"] == 2 and payload["points"] == 2 * 2000
+
+    def test_serve_replay_workers_rejects_adapt_and_chaos(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "serve-replay", "--dataset", "4", "--epochs", "0",
+            "--workers", "2", "--adapt",
+        ]) == 2
+        assert "incompatible" in capsys.readouterr().err

@@ -107,3 +107,113 @@ class TestStreamState:
             StreamState("s", 1, 1)
         with pytest.raises(ValueError):
             StreamState("s", 8, 0)
+
+
+class TestRingBufferExtend:
+    """RingBuffer.extend must be indistinguishable from per-point append."""
+
+    @pytest.mark.parametrize("capacity", [1, 3, 8, 50])
+    @pytest.mark.parametrize(
+        "chunks",
+        [[5], [2, 2, 2], [60], [7, 49, 3], [0, 8], [1] * 17, [4, 100, 2]],
+    )
+    def test_extend_matches_append_exactly(self, rng, capacity, chunks):
+        sequential = RingBuffer(capacity)
+        chunked = RingBuffer(capacity)
+        for size in chunks:
+            values = rng.normal(size=size)
+            for value in values:
+                sequential.append(value)
+            chunked.extend(values)
+        a, b = sequential.snapshot(), chunked.snapshot()
+        assert np.array_equal(a["data"], b["data"])
+        assert (a["size"], a["next"], a["appends"]) == (
+            b["size"], b["next"], b["appends"],
+        )
+        assert a["sum"] == pytest.approx(b["sum"])
+        assert a["sumsq"] == pytest.approx(b["sumsq"])
+        assert np.array_equal(sequential.view(), chunked.view())
+
+    def test_extend_crossing_refresh_epoch_rebuilds_sums(self, rng):
+        from repro.serve.stream import _REFRESH_EVERY
+
+        buffer = RingBuffer(16)
+        buffer.extend(rng.normal(size=_REFRESH_EVERY - 4))
+        before = buffer.snapshot()["appends"]
+        buffer.extend(rng.normal(size=8))  # crosses the refresh boundary
+        live = buffer.view()
+        # the refresh re-derives the sums exactly from the live window
+        assert buffer.snapshot()["sum"] == float(live.sum())
+        assert buffer.snapshot()["appends"] == before + 8
+
+    def test_extend_empty_chunk_is_a_noop(self):
+        buffer = RingBuffer(4)
+        buffer.append(1.0)
+        snapshot = buffer.snapshot()
+        buffer.extend(np.array([]))
+        after = buffer.snapshot()
+        assert np.array_equal(snapshot["data"], after["data"])
+        assert snapshot["appends"] == after["appends"]
+
+
+class TestRingBufferSnapshot:
+    def test_round_trip_is_exact(self, rng):
+        buffer = RingBuffer(16)
+        for value in rng.normal(size=41):
+            buffer.append(value)
+        restored = RingBuffer.from_snapshot(buffer.snapshot())
+        future = rng.normal(size=30)
+        for value in future:
+            buffer.append(value)
+            restored.append(value)
+        a, b = buffer.snapshot(), restored.snapshot()
+        assert np.array_equal(a["data"], b["data"])
+        assert a["sum"] == b["sum"] and a["sumsq"] == b["sumsq"]
+        assert a["next"] == b["next"] and a["appends"] == b["appends"]
+        assert buffer.mean == restored.mean and buffer.std == restored.std
+
+    def test_snapshot_data_is_a_copy(self):
+        buffer = RingBuffer(4)
+        buffer.append(1.0)
+        snapshot = buffer.snapshot()
+        buffer.append(2.0)
+        assert snapshot["data"][1] == 0.0  # unaffected by later appends
+
+    def test_from_snapshot_rejects_wrong_shape(self):
+        buffer = RingBuffer(4)
+        snapshot = buffer.snapshot()
+        snapshot["data"] = np.zeros(7)
+        with pytest.raises(ValueError, match="shape"):
+            RingBuffer.from_snapshot(snapshot)
+
+
+class TestStreamStateSnapshotAndExtend:
+    def test_round_trip_emits_identical_windows(self, rng):
+        state = StreamState("s", 10, 3)
+        for value in rng.normal(size=27):
+            state.push(value)
+        restored = StreamState.from_snapshot(state.snapshot())
+        future = rng.normal(size=25)
+        original_windows = [w for v in future if (w := state.push(v))]
+        restored_windows = [w for v in future if (w := restored.push(v))]
+        assert len(original_windows) == len(restored_windows) > 0
+        for a, b in zip(original_windows, restored_windows):
+            assert np.array_equal(a.window, b.window)
+            assert a.end_index == b.end_index
+            assert a.mean == b.mean and a.std == b.std
+
+    def test_extend_rejects_chunks_crossing_the_emission_boundary(self, rng):
+        state = StreamState("s", 8, 4)
+        with pytest.raises(ValueError, match="emission"):
+            state.extend(rng.normal(size=9))
+        # exactly reaching the boundary emits
+        ready = state.extend(rng.normal(size=8))
+        assert ready is not None and ready.end_index == 8
+
+    def test_until_next_emit_tracks_the_cadence(self):
+        state = StreamState("s", 8, 4)
+        assert state.until_next_emit == 8
+        state.extend(np.zeros(8))
+        assert state.until_next_emit == 4
+        state.push(0.0)
+        assert state.until_next_emit == 3
