@@ -1,0 +1,60 @@
+"""Discord kernel benchmark (``BENCH_discord.json``).
+
+The claim backing the shared kernel layer: prefix-sum moments computed
+once per series, blocked/FFT distance profiles, DRAG as batched sweeps,
+and MERLIN's cross-length lower-bound reuse make the full Table
+IV-style length sweep >= 5x faster than the scalar reference paths,
+with identical discord indices and distances within 1e-9.
+
+The measurement lives in ``scripts/bench_discord.py`` — run that to
+(re)generate ``BENCH_discord.json`` at the repo root — and this module
+re-runs it under the ``bench`` marker so ``pytest -m bench`` covers the
+gate too::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_discord.py -m bench
+
+Tier-1 (`pytest -x -q`) never collects it.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.bench
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "bench_discord.py"
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_discord_script", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_discord_script", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def report():
+    return _load_bench().run_bench(repeats=2)
+
+
+def test_discords_match_reference(report):
+    assert report["indices_match"]
+    assert report["distance_max_abs_diff"] <= 1e-9
+
+
+def test_sweep_is_5x_faster(report):
+    assert report["speedup_x"] >= 5.0, (
+        f"fast stack only {report['speedup_x']:.2f}x faster "
+        f"(reference {report['reference_s']:.3f}s vs "
+        f"fast {report['fast_s']:.3f}s)"
+    )
+
+
+def test_gate_passes(report):
+    assert report["gate"]["passed"]

@@ -48,6 +48,21 @@ retrains through it):
     7  replay            (harness + chaos injectors, drives adapt)
     8  __init__          (facade)
 
+Within ``repro.discord`` a third map (``DISCORD_SUBLAYERS``) keeps the
+discord subsystem a DAG around the shared kernel layer: scalar
+primitives at the bottom, the batched kernels above them, then the
+algorithms in dependency order (DRAG builds on brute force, MERLIN on
+DRAG, MERLIN++ on MERLIN, motifs on the matrix profile):
+
+    0  distance          (scalar primitives; reference NN oracle)
+    1  kernels           (SeriesContext, batched sweeps, mode dispatch)
+    2  brute             (Discord dataclass; exhaustive scan)
+    3  drag, matrix_profile
+    4  damp, merlin
+    5  merlinpp
+    6  streaming, topk, motifs
+    7  __init__          (facade)
+
 Packages listed in ``IMPORT_LEAF`` (currently ``nn``) face a stricter
 rule: no ``repro.*`` import at *any* scope — the lazy-import escape
 hatch below does not apply to them.
@@ -129,6 +144,31 @@ SERVE_SUBLAYERS: dict[str, int] = {
     "__init__": 8,
 }
 
+# Intra-``repro.discord`` sublayers: everything sits on the shared
+# kernel layer; the scalar primitives below it stay import-free so the
+# kernels' reference oracle has no dependencies (see module docstring).
+DISCORD_SUBLAYERS: dict[str, int] = {
+    "distance": 0,
+    "kernels": 1,
+    "brute": 2,
+    "drag": 3,
+    "matrix_profile": 3,
+    "damp": 4,
+    "merlin": 4,
+    "merlinpp": 5,
+    "streaming": 6,
+    "topk": 6,
+    "motifs": 6,
+    "__init__": 7,
+}
+
+# Packages with an intra-package sublayer map, enforced with the same
+# strictly-lower rule as the top-level layers.
+SUBLAYERS: dict[str, dict[str, int]] = {
+    "serve": SERVE_SUBLAYERS,
+    "discord": DISCORD_SUBLAYERS,
+}
+
 
 def _top_package(path: Path, package_root: Path) -> str:
     """``repro/<pkg>/...`` -> ``<pkg>``; ``repro/<mod>.py`` -> ``<mod>``."""
@@ -175,19 +215,22 @@ def _imported_packages(
             yield alias.name
 
 
-def _serve_submodules(
-    node: ast.Import | ast.ImportFrom, path: Path, package_root: Path
+def _package_submodules(
+    node: ast.Import | ast.ImportFrom,
+    path: Path,
+    package_root: Path,
+    package: str,
 ):
-    """Yield the ``repro.serve`` submodule(s) an import node touches."""
+    """Yield the ``repro.<package>`` submodule(s) an import node touches."""
     if isinstance(node, ast.Import):
         for alias in node.names:
             parts = alias.name.split(".")
-            if parts[:2] == ["repro", "serve"] and len(parts) > 2:
+            if parts[:2] == ["repro", package] and len(parts) > 2:
                 yield parts[2]
         return
     if node.level == 0:
         parts = (node.module or "").split(".")
-        if parts[:2] != ["repro", "serve"]:
+        if parts[:2] != ["repro", package]:
             return
         remainder = parts[2:]
     else:
@@ -197,14 +240,14 @@ def _serve_submodules(
         if hops > len(base):
             return
         base = base[: len(base) - hops] if hops else base
-        if base != ["serve"]:
-            return  # relative import reaching outside serve
+        if base != [package]:
+            return  # relative import reaching outside the package
         remainder = (node.module or "").split(".") if node.module else []
     if remainder:
         yield remainder[0]
     else:
-        # ``from repro.serve import x`` / ``from . import x`` inside
-        # serve — the names themselves are the submodules.
+        # ``from repro.<pkg> import x`` / ``from . import x`` inside the
+        # package — the names themselves are the submodules.
         for alias in node.names:
             yield alias.name
 
@@ -244,12 +287,13 @@ def check(package_root: Path = PACKAGE_ROOT) -> list[str]:
             )
             continue
         source_sub = None
-        if source_pkg == "serve" and path.parent.name == "serve":
-            source_sub = SERVE_SUBLAYERS.get(path.stem)
+        sub_map = SUBLAYERS.get(source_pkg)
+        if sub_map is not None and path.parent.name == source_pkg:
+            source_sub = sub_map.get(path.stem)
             if source_sub is None:
                 violations.append(
-                    f"{where}:1: serve module {path.stem!r} is not in the "
-                    f"serve sublayer map (scripts/check_layering.py)"
+                    f"{where}:1: {source_pkg} module {path.stem!r} is not in "
+                    f"the {source_pkg} sublayer map (scripts/check_layering.py)"
                 )
         tree = ast.parse(path.read_text(), filename=str(path))
         for restricted, allowed in RESTRICTED_CONSUMERS.items():
@@ -301,21 +345,22 @@ def check(package_root: Path = PACKAGE_ROOT) -> list[str]:
                     )
             if source_sub is None:
                 continue
-            for target in _serve_submodules(node, path, package_root):
+            for target in _package_submodules(node, path, package_root, source_pkg):
                 if target == path.stem:
                     continue
-                target_sub = SERVE_SUBLAYERS.get(target)
+                target_sub = sub_map.get(target)
                 if target_sub is None:
                     violations.append(
-                        f"{where}:{node.lineno}: import of unknown serve "
-                        f"module repro.serve.{target}"
+                        f"{where}:{node.lineno}: import of unknown "
+                        f"{source_pkg} module repro.{source_pkg}.{target}"
                     )
                 elif target_sub >= source_sub:
                     violations.append(
-                        f"{where}:{node.lineno}: serve.{path.stem} (sublayer "
-                        f"{source_sub}) imports repro.serve.{target} "
-                        f"(sublayer {target_sub}) at module scope — only "
-                        f"strictly lower serve sublayers are allowed"
+                        f"{where}:{node.lineno}: {source_pkg}.{path.stem} "
+                        f"(sublayer {source_sub}) imports "
+                        f"repro.{source_pkg}.{target} (sublayer {target_sub}) "
+                        f"at module scope — only strictly lower "
+                        f"{source_pkg} sublayers are allowed"
                     )
     return violations
 

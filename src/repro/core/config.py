@@ -40,6 +40,12 @@ class TriADConfig:
     merlin_step:
         Stride over candidate anomaly lengths in the MERLIN stage; 1
         reproduces the paper's full sweep, larger values bound runtime.
+    discord_mode:
+        Kernel family used by the MERLIN stage's distance math — one of
+        ``repro.discord.DISCORD_MODES``.  ``"auto"`` (default) picks the
+        fast blocked/FFT path; ``"reference"`` pins the original scalar
+        loops (the equivalence oracle).  Results are identical across
+        modes; only speed differs.
     train_stride:
         Stride used when scanning the training series during
         single-window selection (paper analyzes the worst case of 1).
@@ -77,10 +83,18 @@ class TriADConfig:
     merlin_max_length: int | None = None
     merlin_step: int | None = None
     merlin_padding: int | None = None
+    discord_mode: str = "auto"
     train_stride: int | None = None
     data_parallel_workers: int = 0
 
     def __post_init__(self) -> None:
+        from ..discord.kernels import DISCORD_MODES
+
+        if self.discord_mode not in DISCORD_MODES:
+            raise ValueError(
+                f"discord_mode must be one of {DISCORD_MODES}, "
+                f"got {self.discord_mode!r}"
+            )
         if self.data_parallel_workers < 0:
             raise ValueError("data_parallel_workers must be >= 0")
         if not 0.0 <= self.alpha <= 1.0:

@@ -1,15 +1,26 @@
 """Discord discovery algorithms: brute force, DRAG, MERLIN, MERLIN++,
-and the matrix profile."""
+and the matrix profile — all built on the shared chunked distance-kernel
+layer in :mod:`repro.discord.kernels` (``set_discord_mode`` selects the
+implementation family; ``reference`` restores the original scalar
+loops)."""
 
 from .brute import Discord, brute_force_discord
 from .distance import (
-    nearest_neighbor_distances,
+    default_exclusion,
     trivial_match_mask,
     znorm_distance,
     znorm_subsequences,
 )
 from .damp import DampResult, damp
 from .drag import drag
+from .kernels import (
+    DISCORD_MODES,
+    SeriesContext,
+    discord_mode,
+    get_discord_mode,
+    nearest_neighbor_distances,
+    set_discord_mode,
+)
 from .matrix_profile import MatrixProfile, matrix_profile
 from .motifs import Motif, top_k_motifs
 from .merlin import MerlinResult, merlin
@@ -27,6 +38,12 @@ __all__ = [
     "damp",
     "Discord",
     "brute_force_discord",
+    "DISCORD_MODES",
+    "SeriesContext",
+    "discord_mode",
+    "get_discord_mode",
+    "set_discord_mode",
+    "default_exclusion",
     "nearest_neighbor_distances",
     "trivial_match_mask",
     "znorm_distance",

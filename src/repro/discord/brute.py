@@ -3,7 +3,9 @@
 A *discord* is the subsequence whose distance to its nearest non-trivial
 neighbor is largest.  This module computes it directly from the full
 nearest-neighbor profile; DRAG and MERLIN must agree with it (asserted
-in the test suite) while doing less work.
+in the test suite) while doing less work.  The profile itself comes from
+the shared kernel layer, so the scan runs under whatever discord mode is
+active (``reference`` restores the original scalar path).
 """
 
 from __future__ import annotations
@@ -12,7 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .distance import nearest_neighbor_distances
+from .kernels import (
+    SeriesContext,
+    default_exclusion,
+    nearest_neighbor_distances,
+    snap_argmax,
+)
 
 __all__ = ["Discord", "brute_force_discord"]
 
@@ -32,7 +39,11 @@ class Discord:
 
 
 def brute_force_discord(
-    series: np.ndarray, length: int, exclusion: int | None = None
+    series: np.ndarray,
+    length: int,
+    exclusion: int | None = None,
+    *,
+    ctx: SeriesContext | None = None,
 ) -> Discord:
     """Find the top-1 discord of ``series`` at ``length`` exhaustively.
 
@@ -41,16 +52,20 @@ def brute_force_discord(
     the offending geometry in the message so MERLIN failure reports say
     *which* length/exclusion combination was unsatisfiable.
     """
-    profile = nearest_neighbor_distances(series, length, exclusion=exclusion)
+    profile = nearest_neighbor_distances(series, length, exclusion=exclusion, ctx=ctx)
     finite = np.isfinite(profile)
     if not finite.any():
-        effective = exclusion if exclusion is not None else max(length // 2, 1)
+        effective = (
+            exclusion if exclusion is not None else default_exclusion(length, "profile")
+        )
         raise ValueError(
             "no subsequence has a non-trivial neighbor: series length "
             f"{len(np.asarray(series))} yields {len(profile)} subsequence(s) "
             f"at length={length} under exclusion={effective} — shorten the "
             "exclusion zone or provide a longer series"
         )
+    # Tie-snapped so every kernel mode reports the same discord when the
+    # top pair is mutual (exactly tied in real arithmetic).
     profile = np.where(finite, profile, -np.inf)
-    index = int(np.argmax(profile))
+    index = snap_argmax(profile)
     return Discord(index=index, length=length, distance=float(profile[index]))

@@ -1,10 +1,20 @@
-"""Distance kernels for discord discovery.
+"""Scalar distance primitives for discord discovery.
 
 All discord algorithms in this package operate on z-normalized Euclidean
 distance between subsequences, the convention of the matrix-profile /
 MERLIN literature.  For z-normalized vectors of length ``l`` the squared
 distance reduces to ``2l - 2 * dot``, which lets nearest-neighbor scans
 run as matrix products.
+
+This module is the *bottom* of the discord sublayer stack: it holds the
+z-normalization helpers, the one documented home for the exclusion-zone
+defaults (:func:`default_exclusion`), and the original
+:func:`nearest_neighbor_distances` implementation, kept verbatim as the
+equivalence oracle for the batched kernels in
+:mod:`repro.discord.kernels`.  New code should call the mode-dispatching
+``nearest_neighbor_distances`` re-exported from :mod:`repro.discord`
+(defined in ``kernels``); importing it from here always gets the
+reference path.
 """
 
 from __future__ import annotations
@@ -16,9 +26,34 @@ __all__ = [
     "znorm_distance",
     "nearest_neighbor_distances",
     "trivial_match_mask",
+    "default_exclusion",
 ]
 
 _EPS = 1e-8
+
+
+def default_exclusion(length: int, convention: str = "discord") -> int:
+    """The documented exclusion-zone defaults, in one place.
+
+    Two conventions coexist in the literature and in this package; the
+    kernel layer and every algorithm resolve their default zone through
+    this function so the choice is explicit at each call site:
+
+    - ``"discord"`` — zone equals the subsequence ``length``: neighbors
+      must be completely non-overlapping.  MERLIN's convention (Nakamura
+      et al., ICDM 2020), used by DRAG, MERLIN/MERLIN++ and
+      ``top_k_discords``.
+    - ``"profile"`` — zone is ``max(length // 2, 1)``: the common
+      matrix-profile convention, used by ``nearest_neighbor_distances``,
+      ``matrix_profile`` and ``top_k_motifs``.
+    """
+    if convention == "discord":
+        return max(int(length), 1)
+    if convention == "profile":
+        return max(length // 2, 1)
+    raise ValueError(
+        f"unknown exclusion convention {convention!r}; choose 'discord' or 'profile'"
+    )
 
 
 def znorm_subsequences(series: np.ndarray, length: int) -> np.ndarray:
@@ -70,8 +105,9 @@ def nearest_neighbor_distances(
     Parameters
     ----------
     exclusion:
-        Half-width of the trivial-match zone; defaults to ``length // 2``
-        (the common matrix-profile convention).
+        Half-width of the trivial-match zone; defaults to
+        ``default_exclusion(length, "profile")`` (``length // 2``, the
+        common matrix-profile convention).
 
     Returns
     -------
@@ -87,7 +123,7 @@ def nearest_neighbor_distances(
     z = znorm_subsequences(series, length)
     count = len(z)
     if exclusion is None:
-        exclusion = max(length // 2, 1)
+        exclusion = default_exclusion(length, "profile")
     norms = (z**2).sum(axis=1)
     result = np.empty(count)
     for start in range(0, count, chunk):

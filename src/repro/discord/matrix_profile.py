@@ -1,8 +1,10 @@
 """Matrix profile (nearest-neighbor distance profile) for time series.
 
 Related discord machinery the paper cites ([27], [28]): the profile's
-maximum is the top discord, its minimum a motif.  Computed exactly with
-chunked matrix products.
+maximum is the top discord, its minimum a motif.  Computed exactly
+through the shared kernel layer (:func:`repro.discord.kernels.
+nn_profile`), which keeps the original chunked loop as the
+``reference``-mode oracle.
 """
 
 from __future__ import annotations
@@ -11,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .distance import znorm_subsequences
+from .kernels import SeriesContext, as_context, default_exclusion, nn_profile
 
 __all__ = ["MatrixProfile", "matrix_profile"]
 
@@ -41,24 +43,18 @@ def matrix_profile(
     length: int,
     exclusion: int | None = None,
     chunk: int = 512,
+    *,
+    ctx: SeriesContext | None = None,
 ) -> MatrixProfile:
-    """Exact matrix profile of ``series`` at subsequence ``length``."""
-    z = znorm_subsequences(series, length)
-    count = len(z)
+    """Exact matrix profile of ``series`` at subsequence ``length``.
+
+    ``exclusion`` defaults to the matrix-profile convention,
+    ``default_exclusion(length, "profile")`` (``length // 2``).
+    """
     if exclusion is None:
-        exclusion = max(length // 2, 1)
-    norms = (z**2).sum(axis=1)
-    profile = np.empty(count)
-    indices = np.empty(count, dtype=np.int64)
-    columns = np.arange(count)
-    for start in range(0, count, chunk):
-        stop = min(start + chunk, count)
-        dots = z[start:stop] @ z.T
-        sq = norms[start:stop, None] + norms[None, :] - 2.0 * dots
-        rows = np.arange(start, stop)
-        band = np.abs(rows[:, None] - columns[None, :]) < exclusion
-        sq[band] = np.inf
-        nearest = sq.argmin(axis=1)
-        indices[start:stop] = nearest
-        profile[start:stop] = np.sqrt(np.maximum(sq[np.arange(stop - start), nearest], 0.0))
+        exclusion = default_exclusion(length, "profile")
+    context = as_context(series, ctx)
+    profile, indices = nn_profile(
+        context, length, exclusion, chunk=chunk, want_indices=True
+    )
     return MatrixProfile(profile=profile, indices=indices, length=length)

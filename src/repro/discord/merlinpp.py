@@ -17,6 +17,7 @@ import numpy as np
 
 from .brute import Discord
 from .distance import znorm_subsequences
+from .kernels import SeriesContext, get_discord_mode
 from .merlin import MerlinResult
 
 __all__ = ["merlinpp"]
@@ -66,10 +67,13 @@ def merlinpp(
         l for l in range(min_length, max_length + 1, step) if 2 * l <= len(series)
     ]
     result = MerlinResult()
+    # Share prefix-sum moments across the length sweep; reference mode
+    # keeps the original per-length normalization.
+    ctx = None if get_discord_mode() == "reference" else SeriesContext(series)
     recent_norm: list[float] = []
     for position, length in enumerate(lengths):
         exclusion = max(int(round(exclusion_factor * length)), 1)
-        z = znorm_subsequences(series, length)
+        z = znorm_subsequences(series, length) if ctx is None else ctx.znorm(length)
         count = len(z)
         if count <= exclusion:
             continue

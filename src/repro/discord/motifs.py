@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .kernels import SeriesContext, default_exclusion
 from .matrix_profile import matrix_profile
 
 __all__ = ["Motif", "top_k_motifs"]
@@ -39,17 +40,21 @@ def top_k_motifs(
     length: int,
     k: int = 1,
     exclusion: int | None = None,
+    *,
+    ctx: SeriesContext | None = None,
 ) -> list[Motif]:
     """The ``k`` best (closest-pair) motifs, mutually non-overlapping.
 
     After each motif is taken, candidates overlapping either of its
     occurrences are suppressed so distinct patterns are returned.
+    ``exclusion`` defaults to the matrix-profile convention
+    (``default_exclusion(length, "profile")``, i.e. ``length // 2``).
     """
     if k < 1:
         raise ValueError("k must be positive")
     if exclusion is None:
-        exclusion = max(length // 2, 1)
-    mp = matrix_profile(series, length, exclusion=exclusion)
+        exclusion = default_exclusion(length, "profile")
+    mp = matrix_profile(series, length, exclusion=exclusion, ctx=ctx)
     scores = np.where(np.isfinite(mp.profile), mp.profile, np.inf)
     suppressed = np.zeros(len(scores), dtype=bool)
 

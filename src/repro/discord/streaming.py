@@ -15,11 +15,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from .distance import znorm_subsequences
+from .kernels import SeriesContext, as_context, resolve_mode
 
 __all__ = ["left_matrix_profile", "StreamingDiscordDetector"]
 
 
-def left_matrix_profile(series: np.ndarray, length: int, chunk: int = 256) -> np.ndarray:
+def left_matrix_profile(
+    series: np.ndarray,
+    length: int,
+    chunk: int = 256,
+    *,
+    ctx: SeriesContext | None = None,
+) -> np.ndarray:
     """Exact left matrix profile.
 
     ``profile[i]`` is the distance from subsequence ``i`` to its nearest
@@ -31,12 +38,22 @@ def left_matrix_profile(series: np.ndarray, length: int, chunk: int = 256) -> np
     dot-product identity ``||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b``, with
     the not-yet-past columns masked per row.  Memory stays
     ``O(chunk * count)`` and the interpreter loop runs ``count / chunk``
-    times instead of ``count`` times.
+    times instead of ``count`` times.  Under the kernel modes the z-norm
+    matrix and squared norms come from the shared (optionally caller-
+    provided) :class:`~repro.discord.kernels.SeriesContext`; the
+    ``reference`` mode recomputes them locally, as this function always
+    did.
     """
-    z = znorm_subsequences(series, length)
+    mode = resolve_mode(None, length, max(len(np.asarray(series)) - length + 1, 0))
+    if mode == "reference":
+        z = znorm_subsequences(series, length)
+        norms = (z**2).sum(axis=1)
+    else:
+        context = as_context(series, ctx)
+        z = context.znorm(length)
+        norms = context.znorm_sq_norms(length)
     count = len(z)
     profile = np.full(count, np.inf)
-    norms = (z**2).sum(axis=1)
     for start in range(length, count, chunk):
         stop = min(start + chunk, count)
         # Row i may match columns j <= i - length; the widest row in this
@@ -62,7 +79,8 @@ class _Alert:
     distance: float
 
 
-#: Trailing left-NN distances used for the alert-threshold baseline.
+#: Default trailing left-NN distance window for the alert-threshold
+#: baseline (see ``StreamingDiscordDetector``'s ``baseline_window``).
 BASELINE_WINDOW = 512
 
 
@@ -89,11 +107,17 @@ class StreamingDiscordDetector:
         sigma: float = 4.0,
         min_distance: float = 0.5,
         max_history: int | None = None,
+        baseline_window: int = BASELINE_WINDOW,
     ) -> None:
         if length < 2:
             raise ValueError("subsequence length must be >= 2")
         if warmup < 2:
             raise ValueError("warmup must be >= 2")
+        if baseline_window < length:
+            raise ValueError(
+                "baseline_window must be >= the subsequence length "
+                f"(got {baseline_window} < {length})"
+            )
         self.length = length
         self.warmup = warmup
         self.sigma = sigma
@@ -104,10 +128,11 @@ class StreamingDiscordDetector:
         # ``max_history`` bounds the pool of past z-normed subsequences a
         # new window is matched against (None = unbounded pool).  The
         # threshold baseline is bounded separately and unconditionally:
-        # only the trailing ``BASELINE_WINDOW`` left-NN distances are
-        # retained, so memory stays O(max_history + BASELINE_WINDOW)
+        # only the trailing ``baseline_window`` left-NN distances are
+        # retained, so memory stays O(max_history + baseline_window)
         # even on an infinite stream.
         self.max_history = max_history
+        self.baseline_window = int(baseline_window)
         self._buffer: list[float] = []
         self._history: list[np.ndarray] = []  # z-normed past subsequences
         self._distances: list[float] = []  # trailing window only (see above)
@@ -148,11 +173,11 @@ class StreamingDiscordDetector:
             self._distances.append(distance)
             self._distances_seen += 1
             # Keep one extra entry so the baseline below can exclude the
-            # distance just appended and still span BASELINE_WINDOW.
-            if len(self._distances) > BASELINE_WINDOW + 1:
-                del self._distances[: -(BASELINE_WINDOW + 1)]
+            # distance just appended and still span baseline_window.
+            if len(self._distances) > self.baseline_window + 1:
+                del self._distances[: -(self.baseline_window + 1)]
             if self._distances_seen > self.warmup:
-                baseline = np.asarray(self._distances[:-1][-BASELINE_WINDOW:])
+                baseline = np.asarray(self._distances[:-1][-self.baseline_window :])
                 threshold = max(
                     baseline.mean() + self.sigma * baseline.std(), self.min_distance
                 )

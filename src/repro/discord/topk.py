@@ -11,7 +11,12 @@ from __future__ import annotations
 import numpy as np
 
 from .brute import Discord
-from .distance import nearest_neighbor_distances
+from .kernels import (
+    SeriesContext,
+    default_exclusion,
+    nearest_neighbor_distances,
+    snap_argmax,
+)
 
 __all__ = ["top_k_discords"]
 
@@ -22,6 +27,8 @@ def top_k_discords(
     k: int,
     exclusion: int | None = None,
     suppression: int | None = None,
+    *,
+    ctx: SeriesContext | None = None,
 ) -> list[Discord]:
     """The ``k`` highest nearest-neighbor-distance subsequences, mutually
     non-overlapping.
@@ -30,6 +37,9 @@ def top_k_discords(
     discord are suppressed (defaults to ``exclusion``), so the result is
     ``k`` distinct events rather than ``k`` offsets of the same one; use
     a larger ``suppression`` to keep whole event neighborhoods apart.
+    ``exclusion`` defaults to the discord convention
+    (``default_exclusion(length, "discord")``, i.e. the full length:
+    neighbors must not overlap at all).
 
     Returns fewer than ``k`` discords when the series cannot host that
     many non-overlapping candidates.
@@ -37,16 +47,18 @@ def top_k_discords(
     if k < 1:
         raise ValueError("k must be positive")
     if exclusion is None:
-        exclusion = length
+        exclusion = default_exclusion(length, "discord")
     if suppression is None:
         suppression = exclusion
-    profile = nearest_neighbor_distances(series, length, exclusion=exclusion)
+    profile = nearest_neighbor_distances(
+        series, length, exclusion=exclusion, ctx=ctx
+    )
     available = np.isfinite(profile)
     scores = np.where(available, profile, -np.inf)
 
     found: list[Discord] = []
     for _ in range(k):
-        index = int(np.argmax(scores))
+        index = snap_argmax(scores)
         if not np.isfinite(scores[index]) or scores[index] < 0:
             break
         found.append(Discord(index=index, length=length, distance=float(scores[index])))

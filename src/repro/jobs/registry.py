@@ -30,6 +30,7 @@ __all__ = [
     "build_scorer",
     "resolve_plan",
     "BatchedSpectralResidualScorer",
+    "BatchedDiscordScorer",
 ]
 
 #: A builder returns (fitted scorer, window_length, stride).
@@ -197,6 +198,49 @@ class BatchedSpectralResidualScorer(WindowScorer):
         return self.saliency(windows).max(axis=-1)
 
 
+class BatchedDiscordScorer(WindowScorer):
+    """Discord-distance window scoring through the shared kernel layer.
+
+    The bulk-inference counterpart of the serving registry's
+    ``streaming-discord`` degradation-chain scorer: each window's score
+    is the largest left nearest-neighbor distance among its z-normalized
+    subsequences (:func:`repro.discord.streaming.left_matrix_profile`,
+    which runs on the batched kernels under the active discord mode).
+    Windows are scored independently, so chunked execution stitches
+    bit-identically — the executor contract every job scorer must meet.
+    """
+
+    name = "streaming-discord-batched"
+
+    def __init__(self, subsequence_length: int = 16) -> None:
+        if subsequence_length < 2:
+            raise ValueError("subsequence_length must be >= 2")
+        self.subsequence_length = int(subsequence_length)
+
+    def score_windows(self, windows: np.ndarray, batch: Sequence) -> np.ndarray:
+        from ..discord.streaming import left_matrix_profile
+
+        windows = np.atleast_2d(np.asarray(windows, dtype=np.float64))
+        # A left-NN needs one fully-past subsequence, so the effective
+        # length is capped at half the window.
+        length = max(min(self.subsequence_length, windows.shape[1] // 2), 2)
+        scores = np.zeros(len(windows))
+        for i, window in enumerate(windows):
+            profile = left_matrix_profile(window, length)
+            finite = profile[np.isfinite(profile)]
+            if finite.size:
+                scores[i] = float(finite.max())
+        return scores
+
+
+def _build_streaming_discord(train_series: np.ndarray, params: dict) -> BuiltScorer:
+    scorer = BatchedDiscordScorer(
+        subsequence_length=int(params.get("subsequence_length", 16))
+    )
+    plan = _plan(train_series, params)
+    return scorer, plan.length, plan.stride
+
+
 def _build_batched_sr(train_series: np.ndarray, params: dict) -> BuiltScorer:
     scorer = BatchedSpectralResidualScorer(
         average_window=int(params.get("average_window", 3)),
@@ -208,6 +252,7 @@ def _build_batched_sr(train_series: np.ndarray, params: dict) -> BuiltScorer:
 
 register_job_detector("triad", _build_triad)
 register_job_detector("spectral-residual", _build_batched_sr)
+register_job_detector("streaming-discord", _build_streaming_discord)
 register_job_detector("lstm-ae", _baseline_builder("LSTMAEDetector", trained=True, epochs=4, seed=0))
 register_job_detector("usad", _baseline_builder("USADDetector", epochs=4, seed=0))
 register_job_detector("deepant", _baseline_builder("DeepAnTDetector", epochs=4, seed=0))

@@ -30,7 +30,7 @@ import numpy as np
 
 from .. import obs
 from ..baselines.spectral_residual import spectral_residual_saliency
-from ..discord.streaming import StreamingDiscordDetector
+from ..discord.streaming import BASELINE_WINDOW, StreamingDiscordDetector
 from ..pipeline import TriADWindowScorer, WindowScorer, default_pipeline
 from ..runtime import RetryPolicy, RunBudget
 from ..signal.normalize import zscore
@@ -115,10 +115,15 @@ class DiscordWindowScorer(WindowScorer):
         warmup: int = 8,
         max_history: int = 512,
         calibration_series: np.ndarray | None = None,
+        baseline_window: int = BASELINE_WINDOW,
     ) -> None:
         self.subsequence_length = subsequence_length
         self.warmup = warmup
         self.max_history = max_history
+        # Trailing left-NN distances each per-stream detector keeps for
+        # its alert baseline (passed through to the detector, which
+        # validates it against the subsequence length).
+        self.baseline_window = baseline_window
         self._calibration_series = (
             np.asarray(calibration_series, dtype=np.float64)
             if calibration_series is not None
@@ -136,6 +141,7 @@ class DiscordWindowScorer(WindowScorer):
                 length=self.subsequence_length,
                 warmup=max(self.warmup, 2),
                 max_history=self.max_history,
+                baseline_window=self.baseline_window,
             )
             for value in self._calibration_series:
                 probe.update(float(value))
@@ -159,6 +165,7 @@ class DiscordWindowScorer(WindowScorer):
                 length=self.subsequence_length,
                 warmup=max(self.warmup, 2),
                 max_history=self.max_history,
+                baseline_window=self.baseline_window,
             )
             self._detectors[stream_id] = detector
         return detector

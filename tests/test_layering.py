@@ -68,3 +68,34 @@ def test_checker_exempts_lazy_and_typing_imports(tmp_path):
     finally:
         checker.PACKAGE_ROOT = original
     assert violations == []
+
+
+def test_checker_flags_discord_sublayer_inversions(tmp_path):
+    checker = _load_checker()
+    fake = tmp_path / "repro"
+    (fake / "discord").mkdir(parents=True)
+    (fake / "discord" / "__init__.py").write_text("")
+    # distance is the bottom sublayer: importing the kernels above it is
+    # exactly the inversion the sublayer map exists to prevent.
+    (fake / "discord" / "distance.py").write_text(
+        "from .kernels import SeriesContext\n"
+    )
+    (fake / "discord" / "kernels.py").write_text("")
+    original = checker.PACKAGE_ROOT
+    checker.PACKAGE_ROOT = fake
+    try:
+        violations = checker.check(fake)
+    finally:
+        checker.PACKAGE_ROOT = original
+    assert len(violations) == 1
+    assert "discord.distance" in violations[0]
+    assert "kernels" in violations[0]
+
+
+def test_discord_sublayer_map_covers_the_package():
+    checker = _load_checker()
+    modules = {
+        path.stem
+        for path in (REPO_ROOT / "src" / "repro" / "discord").glob("*.py")
+    }
+    assert modules == set(checker.DISCORD_SUBLAYERS)
